@@ -1,0 +1,46 @@
+"""Shared fixtures for the per-figure/table benchmark harness.
+
+Training the workload suite is the expensive step, so a session-scoped
+cache trains each benchmark task exactly once (at QUICK scale) and the
+individual benchmarks measure the analysis/simulation on top of it.
+
+``BENCH_WORKLOADS`` is a representative cross-suite subset — one run of
+``pytest benchmarks/ --benchmark-only`` finishes in a few minutes.  Use
+``examples/paper_experiments.py --full all`` for the full 43-task sweep.
+"""
+
+import pytest
+
+from repro.eval.runner import WorkloadCache
+from repro.eval.workloads import QUICK, get_workload
+
+BENCH_WORKLOADS = [
+    "memn2n/Task-1",
+    "memn2n/Task-7",
+    "bert_base_glue/G-SST",
+    "bert_base_glue/G-QNLI",
+    "bert_large_glue/G-SST",
+    "bert_base_squad/SQUAD",
+    "albert_squad/SQUAD",
+    "gpt2_wikitext/WikiText-2",
+    "vit_cifar/CIFAR-10",
+]
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return QUICK
+
+
+@pytest.fixture(scope="session")
+def trained(scale):
+    """Cache with every benchmark workload trained once."""
+    cache = WorkloadCache()
+    for name in BENCH_WORKLOADS:
+        cache.get(get_workload(name), scale)
+    return cache
+
+
+def run_once(benchmark, fn):
+    """Benchmark a (possibly heavy) experiment with a single round."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

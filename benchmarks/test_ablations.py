@@ -1,0 +1,159 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not figures from the paper, but quantitative support for its claims:
+
+* **Margin policy** — the conservative margin is exact; scaling it down
+  terminates earlier but wrongly prunes surviving scores, which is why
+  the paper insists on exactness ("does not cause any accuracy
+  degradation").
+* **L0 weight (lambda)** — sweeping the Eq. 7a balance factor traces
+  the accuracy/sparsity trade-off the joint optimization navigates.
+* **Per-layer vs global threshold** — the paper learns one threshold
+  per layer "because each attention layer identifies a distinct
+  context"; collapsing to the mean threshold changes (usually hurts)
+  the pruning/accuracy balance.
+* **Soft-threshold sharpness (s)** — Eq. 6's transition width controls
+  gradient flow around Th.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.finetune import evaluate_accuracy
+from repro.core.pruning import PruningMode
+from repro.core.stats import measure_pruning
+from repro.data import batches
+from repro.eval.workloads import get_workload
+from repro.hw.bitserial import bitserial_cycles_matrix, serial_cycle_count
+
+
+def test_margin_policy_ablation(benchmark, trained, scale):
+    """Exact margin: zero wrong prunes.  Scaled margins: cheaper but
+    wrong — quantifies the exactness-vs-aggressiveness trade-off."""
+    result = trained.get(get_workload("bert_base_glue/G-QNLI"), scale)
+    jobs = result.hw_jobs()[:32]
+
+    def sweep():
+        rows = []
+        for margin_scale in (1.0, 0.5, 0.25, 0.0):
+            cycles_total = 0
+            wrong = 0
+            total = 0
+            for job in jobs:
+                cycles, pruned, scores = bitserial_cycles_matrix(
+                    job.queries, job.keys, job.threshold, 11, 2,
+                    valid=job.valid, margin_scale=margin_scale)
+                exact = scores < job.threshold
+                wrong += int((pruned & ~exact & job.valid).sum())
+                total += int(job.valid.sum())
+                cycles_total += int(cycles.sum())
+            rows.append((margin_scale, cycles_total, wrong / total))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    by_scale = {scale_: (cycles, wrong) for scale_, cycles, wrong in rows}
+    # Paper's conservative margin: exactly zero wrongful terminations.
+    assert by_scale[1.0][1] == 0.0
+    # Shrinking the margin only saves cycles by making wrong decisions.
+    assert by_scale[0.0][0] <= by_scale[0.5][0] <= by_scale[1.0][0]
+    assert by_scale[0.0][1] > 0.0
+    print("\nmargin ablation (scale, cycles, wrongful-prune rate):")
+    for row in rows:
+        print(f"  {row[0]:.2f}  {row[1]:>9d}  {row[2]:.4f}")
+
+
+def test_l0_weight_tradeoff(benchmark):
+    """Sweeping lambda traces the sparsity knob of Eq. 7a."""
+    from dataclasses import replace
+
+    from repro.eval.runner import run_workload
+    from repro.eval.workloads import TINY
+
+    spec = get_workload("bert_base_glue/G-SST")
+
+    def sweep():
+        points = []
+        for weight in (0.005, 0.05, 0.5):
+            variant = replace(spec, l0_weight=weight)
+            result = run_workload(variant, TINY)
+            points.append((weight, result.pruning_rate,
+                           result.pruned_metric))
+        return points
+
+    points = run_once(benchmark, sweep)
+    print("\nlambda sweep (weight, pruning rate, accuracy):")
+    for weight, rate, accuracy in points:
+        print(f"  {weight:<6} {rate:.3f}  {accuracy:.3f}")
+    rates = [rate for _, rate, _ in points]
+    # Stronger L0 pressure -> at least as much pruning.
+    assert rates[-1] >= rates[0]
+
+
+def test_per_layer_vs_global_threshold(benchmark, trained, scale):
+    """Collapse learned per-layer thresholds to their mean and compare."""
+    result = trained.get(get_workload("bert_base_glue/G-QNLI"), scale)
+    model, controller = result.model, result.controller
+    spec = result.spec
+    data = spec.make_data(scale, spec.seed)
+    learned = controller.threshold_values()
+
+    def compare():
+        outcomes = {}
+        for label, values in (("per-layer", learned),
+                              ("global", np.full_like(learned,
+                                                      learned.mean()))):
+            controller.set_threshold_values(values)
+            report = measure_pruning(model, controller,
+                                     batches(data.test, scale.batch_size))
+            accuracy = evaluate_accuracy(model, controller,
+                                         batches(data.test,
+                                                 scale.batch_size),
+                                         PruningMode.HARD)
+            outcomes[label] = (report.overall_rate, accuracy)
+        controller.set_threshold_values(learned)   # restore
+        return outcomes
+
+    outcomes = run_once(benchmark, compare)
+    print("\nthreshold granularity (pruning rate, accuracy):")
+    for label, (rate, accuracy) in outcomes.items():
+        print(f"  {label:<10} {rate:.3f}  {accuracy:.3f}")
+    # The learned per-layer setting is on the efficient frontier: the
+    # global variant cannot be both sparser and more accurate.
+    per_rate, per_acc = outcomes["per-layer"]
+    glob_rate, glob_acc = outcomes["global"]
+    assert not (glob_rate > per_rate + 0.01 and glob_acc > per_acc + 0.01)
+
+
+def test_soft_threshold_sharpness(benchmark):
+    """Eq. 6's s controls the gradient band width around Th."""
+    from repro.core.soft_threshold import SoftThresholdConfig, soft_threshold
+    from repro.nn import Parameter
+    from repro.tensor import Tensor
+
+    rng = np.random.default_rng(0)
+    scores = Tensor(rng.standard_normal(512))
+
+    def band_widths():
+        widths = {}
+        for sharpness in (1.0, 10.0, 100.0):
+            th = Parameter(np.array(0.0))
+            out = soft_threshold(scores, th,
+                                 SoftThresholdConfig(sharpness=sharpness))
+            out.sum().backward()
+            # fraction of scores contributing nontrivial Th gradient
+            th.zero_grad()
+            contributing = 0
+            for x in (-0.5, -0.1, -0.01, 0.01, 0.1, 0.5):
+                probe = Tensor(np.array([x]))
+                th2 = Parameter(np.array(0.0))
+                soft_threshold(probe, th2, SoftThresholdConfig(
+                    sharpness=sharpness)).sum().backward()
+                if abs(float(th2.grad)) > 1e-3:
+                    contributing += 1
+            widths[sharpness] = contributing
+        return widths
+
+    widths = run_once(benchmark, band_widths)
+    print(f"\ngradient band (probes with grad) per sharpness: {widths}")
+    # Sharper s -> narrower band of scores that move the threshold.
+    assert widths[1.0] >= widths[10.0] >= widths[100.0]

@@ -1,0 +1,37 @@
+"""Bench: learned thresholds vs heuristic pruning (paper §1 claim).
+
+"The literature has relied on heuristics, statistical sampling, or
+human input that do not provide reliable expected accuracy."  This
+bench sweeps the A3-style relative-threshold and SpAtten-style top-k
+knobs on the same trained model and places LeOPArd's learned operating
+point on the same accuracy/pruning plane.
+
+Expected shape: the learned point is on (or above) the heuristics'
+accuracy-pruning frontier — no heuristic setting is simultaneously
+sparser and more accurate — and it needs no per-task knob.
+"""
+
+from benchmarks.conftest import run_once
+from repro.eval import experiments as E
+
+WORKLOAD = "bert_base_glue/G-QNLI"
+
+
+def test_baselines_comparison(benchmark, trained, scale):
+    result = run_once(
+        benchmark,
+        lambda: E.run_baseline_comparison(scale, workload=WORKLOAD,
+                                          cache=trained))
+    print("\n" + result.table)
+    rows = {row["method"]: row for row in result.data["rows"]}
+    learned = rows["learned (LeOPArd)"]
+
+    assert learned["pruning_rate"] > 0.4
+    # Frontier claim: no heuristic point strictly dominates the
+    # learned one (sparser AND more accurate).
+    for method, row in rows.items():
+        if method == "learned (LeOPArd)":
+            continue
+        dominates = (row["pruning_rate"] > learned["pruning_rate"] + 0.01
+                     and row["accuracy"] > learned["accuracy"] + 0.01)
+        assert not dominates, method

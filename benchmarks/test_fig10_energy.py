@@ -1,0 +1,33 @@
+"""Bench: paper Fig. 10 — total energy reduction over the baseline.
+
+Paper shape: ~3.9x geomean for AE and ~4.0x for HP (nearly equal:
+extra DPUs raise power and performance together); energy gains exceed
+speedups because pruning also removes memory accesses; MemN2N saves
+the most, ViT the least.
+"""
+
+from benchmarks.conftest import BENCH_WORKLOADS, run_once
+from repro.eval import experiments as E
+
+
+def test_fig10_energy(benchmark, trained, scale):
+    fig10 = run_once(
+        benchmark,
+        lambda: E.run_fig10(scale, workloads=BENCH_WORKLOADS, cache=trained))
+    print("\n" + fig10.table)
+
+    gmean_ae = fig10.data["gmean_ae"]
+    gmean_hp = fig10.data["gmean_hp"]
+    assert gmean_ae > 1.5
+    # AE and HP energy reductions are nearly identical (paper: 3.9 vs 4.0).
+    assert abs(gmean_ae - gmean_hp) / gmean_ae < 0.1
+
+    # Energy reduction exceeds the speedup (paper: "The impact of
+    # LeOPArd on energy exceeds that on speedup").
+    fig9 = E.run_fig9(scale, workloads=BENCH_WORKLOADS, cache=trained)
+    assert gmean_ae > fig9.data["gmean_ae"]
+
+    rows = {row["task"]: row for row in fig10.data["rows"]
+            if row["task"] != "GMean"}
+    assert rows["memn2n/Task-1"]["AE-LeOPArd"] \
+        > rows["vit_cifar/CIFAR-10"]["AE-LeOPArd"]

@@ -1,0 +1,49 @@
+"""Bench: paper Fig. 11 — energy breakdown and savings attribution.
+
+Paper shape: the back-end (softmax + xV + value memory) dominates the
+baseline (>65% of energy); runtime pruning alone removes back-end work
+(1.7-2.5x); bit-serial early termination then cuts QxK compute and key
+memory on top (1.3-2.3x more).
+"""
+
+from benchmarks.conftest import run_once
+from repro.eval import experiments as E
+
+SUITE_SUBSET = ["memn2n/Task-1", "memn2n/Task-7",
+                "bert_base_glue/G-SST", "bert_base_glue/G-QNLI",
+                "vit_cifar/CIFAR-10"]
+
+
+def test_fig11_breakdown(benchmark, trained, scale):
+    result = run_once(
+        benchmark,
+        lambda: E.run_fig11(scale, workloads=SUITE_SUBSET, cache=trained))
+    print("\n" + result.table)
+
+    for suite, gains in result.data["attribution"].items():
+        # Both optimizations contribute energy savings.
+        assert gains["pruning_gain"] > 1.2, suite
+        assert gains["bitserial_gain"] > 1.0, suite
+
+    rows = result.data["rows"]
+    by_design = {}
+    for row in rows:
+        by_design.setdefault(row["suite"], {})[row["design"]] = row
+    for suite, designs in by_design.items():
+        base = designs["Baseline"]
+        pruned = designs["LeOPArd-P"]
+        full = designs["LeOPArd"]
+        # Pruning-only leaves the front-end untouched ...
+        assert abs(pruned["qk_compute"] - base["qk_compute"]) < 0.05
+        assert abs(pruned["key_memory"] - base["key_memory"]) < 0.02
+        # ... and shrinks the back-end components.
+        assert pruned["softmax"] < base["softmax"]
+        assert pruned["v_compute"] < base["v_compute"]
+        # Bit-serial early termination then shrinks the front-end.
+        assert full["key_memory"] < pruned["key_memory"]
+        assert full["normalized_total"] < pruned["normalized_total"]
+
+    # MemN2N saves more than the vision workload end to end.
+    memn2n_total = by_design["memn2n"]["LeOPArd"]["normalized_total"]
+    vit_total = by_design["vit_cifar"]["LeOPArd"]["normalized_total"]
+    assert memn2n_total < vit_total

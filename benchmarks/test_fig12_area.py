@@ -1,0 +1,37 @@
+"""Bench: paper Fig. 12 — tile area breakdown.
+
+Paper shape: QxK logic is the largest component (38%), softmax 13%,
+value buffer 18%, key buffer 16%, xV logic 15%; K+V SRAM together 34%.
+"""
+
+import pytest
+
+from repro.eval import experiments as E
+from repro.hw import AE_LEOPARD, HP_LEOPARD, AreaModel, baseline_like
+
+
+def test_fig12_area(benchmark):
+    result = benchmark(E.run_fig12)
+    print("\n" + result.table)
+    shares = {row["component"]: row["share"]
+              for row in result.data["rows"]}
+    assert shares["qk_logic"] == pytest.approx(0.38, abs=0.02)
+    assert shares["softmax"] == pytest.approx(0.13, abs=0.02)
+    assert shares["value_buffer"] == pytest.approx(0.18, abs=0.02)
+    assert shares["key_buffer"] == pytest.approx(0.16, abs=0.02)
+    assert shares["v_logic"] == pytest.approx(0.15, abs=0.02)
+    # memory is ~34% of the layout, as the paper reports
+    assert shares["key_buffer"] + shares["value_buffer"] == pytest.approx(
+        0.34, abs=0.03)
+
+
+def test_fig12_design_point_areas(benchmark):
+    """AE matches the baseline area (iso-area claim); HP is ~15% larger."""
+    model = AreaModel()
+    areas = benchmark(lambda: {
+        "ae": model.tile_area(AE_LEOPARD).total_mm2,
+        "hp": model.tile_area(HP_LEOPARD).total_mm2,
+        "base": model.tile_area(baseline_like(AE_LEOPARD)).total_mm2,
+    })
+    assert abs(areas["ae"] - areas["base"]) / areas["base"] < 0.002
+    assert 1.05 < areas["hp"] / areas["ae"] < 1.25

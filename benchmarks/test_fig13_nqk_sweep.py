@@ -1,0 +1,32 @@
+"""Bench: paper Fig. 13 — V-PU utilization vs QK-PU parallelism.
+
+Paper shape: back-end demand grows with N_QK; N_QK = 12 frequently
+over-subscribes the V-PU (>100%), N_QK = 3 leaves it under-used; 6 and
+8 are the balanced design points (AE and HP).
+"""
+
+from benchmarks.conftest import run_once
+from repro.eval import experiments as E
+
+SWEEP = (3, 4, 5, 6, 8, 12)
+SUBSET = ["memn2n/Task-1", "bert_base_glue/G-SST",
+          "bert_base_glue/G-QNLI", "vit_cifar/CIFAR-10"]
+
+
+def test_fig13_nqk_sweep(benchmark, trained, scale):
+    result = run_once(
+        benchmark,
+        lambda: E.run_fig13(scale, workloads=SUBSET, sweep=SWEEP,
+                            cache=trained))
+    print("\n" + result.table)
+    means = result.data["mean_utilization"]
+
+    # Monotone: more front-end parallelism -> more back-end demand.
+    ordered = [means[n] for n in SWEEP]
+    assert all(a < b for a, b in zip(ordered, ordered[1:]))
+    # N_QK=3 under-uses the V-PU; N_QK=12 over-subscribes on average.
+    assert means[3] < 0.8
+    assert means[12] > 0.95
+    # The chosen AE/HP points sit in the balanced band.
+    assert 0.5 < means[6] < 1.1
+    assert 0.6 < means[8] < 1.2

@@ -1,0 +1,26 @@
+"""Bench: paper Fig. 14 — bit-serial granularity (B) sweep.
+
+Paper shape: on MemN2N workloads, B = 2 minimizes front-end energy per
+score; B = 1 pays extra per-cycle latching, B = 4 and especially the
+single-cycle 12-bit point lose early-termination resolution.
+"""
+
+from benchmarks.conftest import run_once
+from repro.eval import experiments as E
+
+MEMN2N_TASKS = ["memn2n/Task-1", "memn2n/Task-7"]
+
+
+def test_fig14_granularity(benchmark, trained, scale):
+    result = run_once(
+        benchmark,
+        lambda: E.run_fig14(scale, workloads=MEMN2N_TASKS, cache=trained))
+    print("\n" + result.table)
+    normalized = result.data["normalized"]
+
+    # B=2 is the sweet spot of the sweep.
+    assert normalized[2] <= normalized[1]
+    assert normalized[2] <= normalized[4] + 0.05
+    assert normalized[2] < normalized[12]
+    # The non-serial 12-bit point is the most expensive.
+    assert normalized[12] == max(normalized.values())

@@ -1,0 +1,25 @@
+"""Bench: paper Fig. 2 — fine-tuning dynamics on a QNLI-like task.
+
+Paper shape: sparsity and threshold rise over fine-tuning epochs while
+normalized training loss falls.
+"""
+
+from benchmarks.conftest import run_once
+from repro.eval import experiments as E
+
+
+def test_fig2_finetune_dynamics(benchmark, scale):
+    result = run_once(
+        benchmark,
+        lambda: E.run_fig2(scale, workload="bert_base_glue/G-QNLI"))
+    print("\n" + result.table)
+    history = result.data["history"]
+
+    sparsity = history.sparsities()
+    thresholds = history.mean_thresholds()
+    # Shape: sparsity grows from the first to the last epoch ...
+    assert sparsity[-1] > sparsity[0]
+    # ... the learned threshold moves up from its zero initialization ...
+    assert thresholds[-1] > 0.0
+    # ... and fine-tuning ends in a trained state (loss finite, sane).
+    assert history.normalized_losses()[-1] > 0.0

@@ -1,0 +1,43 @@
+"""Bench: paper Fig. 3 — bit-serial early termination kernel.
+
+Benchmarks the vectorized early-termination kernel on a realistic
+Q x K^T tile and checks the exactness invariant plus the worked
+example of the paper's figure.
+"""
+
+import numpy as np
+
+from repro.hw.bitserial import (
+    bitserial_cycles_matrix,
+    bitserial_dot_product,
+    serial_cycle_count,
+)
+
+
+def test_fig3_worked_example(benchmark):
+    q = np.array([9, -5, 7, -2])
+    k = np.array([1, -7, -4, 2])
+
+    trace = benchmark(
+        lambda: bitserial_dot_product(q, k, 40, magnitude_bits=3, group=1))
+    # Exactly the paper's table: terminate at cycle 2 with P=-1, M=5.25.
+    assert trace.cycles == 2
+    assert trace.early_terminated
+    assert trace.history[1].partial_sum == -8.0   # -1 in units of 2^-3
+    assert trace.history[1].margin == 42.0        # 5.25 in units of 2^-3
+
+
+def test_fig3_matrix_kernel_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    q = rng.integers(-2047, 2048, (64, 64))
+    k = rng.integers(-2047, 2048, (64, 64))
+    threshold = 100_000.0
+
+    cycles, pruned, scores = benchmark(
+        lambda: bitserial_cycles_matrix(q, k, threshold, 11, 2))
+    # Exactness: prune decision identical to the full computation.
+    np.testing.assert_array_equal(pruned, (q @ k.T) < threshold)
+    # Early termination saves cycles on pruned scores.
+    full = serial_cycle_count(12, 2)
+    assert cycles[pruned].mean() < full
+    assert (cycles[~pruned] == full).all()

@@ -1,0 +1,22 @@
+"""Bench: paper Fig. 6 — accuracy before/after runtime pruning.
+
+Paper shape: average accuracy degradation near zero (< 0.2% absolute
+in the paper; we allow a few percent at reproduction scale, where a
+single test example weighs ~2%).
+"""
+
+from benchmarks.conftest import BENCH_WORKLOADS, run_once
+from repro.eval import experiments as E
+
+
+def test_fig6_accuracy(benchmark, trained, scale):
+    result = run_once(
+        benchmark,
+        lambda: E.run_fig6(scale, workloads=BENCH_WORKLOADS, cache=trained))
+    print("\n" + result.table)
+    # Mean degradation across accuracy tasks stays near zero.
+    assert abs(result.data["mean_delta"]) < 0.05
+    # Perplexity stays essentially unchanged on the LM task.
+    for row in result.data["rows"]:
+        if row["metric"] == "perplexity":
+            assert abs(row["delta"]) < 0.5

@@ -1,0 +1,28 @@
+"""Bench: paper Fig. 7 — runtime pruning rate per task.
+
+Paper shape: MemN2N prunes the most (~92% avg), BERT-family
+intermediate (~74-79%), ViT the least among accuracy-preserved tasks
+(~60%), GPT-2 ~74%.  We assert the ordering the paper emphasizes:
+MemN2N > BERT-GLUE > ViT, and substantial pruning everywhere.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_WORKLOADS, run_once
+from repro.eval import experiments as E
+
+
+def test_fig7_pruning_rate(benchmark, trained, scale):
+    result = run_once(
+        benchmark,
+        lambda: E.run_fig7(scale, workloads=BENCH_WORKLOADS, cache=trained))
+    print("\n" + result.table)
+    means = result.data["suite_means"]
+
+    # Every suite prunes a substantial fraction of scores.
+    assert all(rate > 0.3 for rate in means.values()), means
+    # Paper ordering: MemN2N highest, ViT below the BERT-GLUE suites.
+    assert means["memn2n"] > means["bert_base_glue"]
+    assert means["vit_cifar"] < means["memn2n"]
+    assert means["vit_cifar"] < max(means["bert_base_glue"],
+                                    means["bert_large_glue"])

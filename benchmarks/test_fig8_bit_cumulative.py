@@ -1,0 +1,31 @@
+"""Bench: paper Fig. 8 — cumulative pruning rate vs processed K bits.
+
+Paper shape: curves rise steeply in the first few bits, then plateau
+at the suite's pruning rate; MemN2N needs the fewest bits to decide a
+prune (paper: 4.5 avg), vision/BERT need more (7.6-9.0).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_WORKLOADS, run_once
+from repro.eval import experiments as E
+
+
+def test_fig8_bit_cumulative(benchmark, trained, scale):
+    result = run_once(
+        benchmark,
+        lambda: E.run_fig8(scale, workloads=BENCH_WORKLOADS, cache=trained))
+    print("\n" + result.table)
+    series = result.data["series"]
+
+    for suite, curve in series.items():
+        curve = np.asarray(curve)
+        # monotone non-decreasing, bounded by 1
+        assert (np.diff(curve) >= -1e-12).all()
+        assert curve[-1] <= 1.0
+        # saturation: the last quarter of bits adds little
+        assert curve[-1] - curve[9] < 0.1, suite
+
+    mean_bits = result.data["mean_bits_to_prune"]
+    # MemN2N decides prunes with fewer bits than the vision workload.
+    assert mean_bits["memn2n"] < mean_bits["vit_cifar"]

@@ -1,0 +1,20 @@
+"""Bench: paper Table 1 — tile microarchitecture configurations."""
+
+from repro.eval import experiments as E
+
+
+def test_table1_config(benchmark):
+    result = benchmark(E.run_table1)
+    print("\n" + result.table)
+    rows = {row["design"]: row for row in result.data["rows"]}
+
+    assert rows["AE-LeOPArd"]["N_QK"] == 6
+    assert rows["HP-LeOPArd"]["N_QK"] == 8
+    assert rows["Baseline"]["N_QK"] == 1
+    assert rows["AE-LeOPArd"]["QK bits"] == "12x2"
+    assert rows["Baseline"]["QK bits"] == "12x12"
+    for design in rows.values():
+        assert design["D"] == 64
+        assert design["Key buffer (KB)"] == 48
+        assert design["Value buffer (KB)"] == 64
+        assert design["Freq (GHz)"] == 0.8

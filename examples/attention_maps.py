@@ -1,0 +1,61 @@
+"""Visualize what runtime pruning removes from an attention map.
+
+Trains a small classifier, then renders one head's attention as text
+heatmaps: raw scores, the learned-threshold pruning mask, and the
+post-pruning softmax probabilities — showing that the pruned scores are
+exactly the mass softmax would have (numerically) ignored anyway.
+
+Run:  python examples/attention_maps.py
+"""
+
+import numpy as np
+
+from repro.core.pruning import PruningMode
+from repro.core.stats import measure_pruning, per_head_rates
+from repro.data import batches
+from repro.eval.reporting import ascii_heatmap
+from repro.eval.runner import run_workload
+from repro.eval.workloads import QUICK, get_workload
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+def main():
+    spec = get_workload("bert_base_glue/G-QNLI")
+    print(f"training {spec.name} ...")
+    result = run_workload(spec, QUICK)
+    print(f"pruning rate {result.pruning_rate:.1%}, "
+          f"accuracy {result.pruned_metric:.3f} "
+          f"(baseline {result.baseline_metric:.3f})\n")
+
+    record = result.records[0]
+    batch_index, head = 0, 0
+    scores = record.scores[batch_index, head]
+    pruned = record.pruned_mask[batch_index, head]
+    threshold = record.threshold
+
+    print(f"layer {record.layer_index}, head {head}, "
+          f"learned threshold {threshold:.3f}")
+    print("\nraw attention scores (dark = high):")
+    print(ascii_heatmap(scores))
+    print("\npruned positions ('#' = dropped by the learned threshold):")
+    print(ascii_heatmap(pruned))
+
+    masked = np.where(pruned, -1e9, scores)
+    probs = F.softmax(Tensor(masked)).data
+    print("\npost-pruning softmax probabilities:")
+    print(ascii_heatmap(probs))
+
+    surviving_mass = np.where(pruned, 0.0,
+                              F.softmax(Tensor(scores)).data).sum(axis=-1)
+    print(f"\nsoftmax mass retained per query row "
+          f"(min {surviving_mass.min():.4f}, "
+          f"mean {surviving_mass.mean():.4f}) — the pruned scores held "
+          f"almost no probability, which is why accuracy is preserved.")
+
+    rates = per_head_rates(result.records)
+    print(f"\nper-(layer, head) pruning rates:\n{rates.round(2)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Architecture design-space exploration (paper §5.4, Figs. 13-14).
+
+Sweeps the two microarchitectural knobs the paper studies on a trained
+workload:
+
+* ``N_QK`` — the number of bit-serial QK-DPUs per tile, traded against
+  back-end (V-PU) utilization (Fig. 13);
+* ``B``   — bit-serial granularity, traded between per-cycle latching
+  energy and early-termination resolution (Fig. 14).
+
+Run:  python examples/design_space.py [workload]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro.eval.reporting import format_dict_table
+from repro.eval.runner import run_workload
+from repro.eval.workloads import QUICK, get_workload
+from repro.hw import AE_LEOPARD, EnergyModel, TileSimulator, baseline_like
+
+
+def main(workload: str = "bert_base_glue/G-QNLI"):
+    spec = get_workload(workload)
+    print(f"training {spec.name} ...")
+    result = run_workload(spec, QUICK)
+    jobs = result.hw_jobs()
+    print(f"pruning rate {result.pruning_rate:.1%}, "
+          f"{len(jobs)} hardware jobs\n")
+
+    base = TileSimulator(baseline_like(AE_LEOPARD)).run(jobs)
+    energy = EnergyModel()
+
+    rows = []
+    for n_qk in (3, 4, 5, 6, 8, 12):
+        config = replace(AE_LEOPARD, name=f"N{n_qk}", num_qk_dpus=n_qk)
+        sim = TileSimulator(config).run(jobs)
+        rows.append({
+            "N_QK": n_qk,
+            "speedup": base.total_cycles / sim.total_cycles,
+            "V-PU utilization": sim.vpu_utilization,
+            "fe stalls": sim.frontend_stall_cycles,
+        })
+    print(format_dict_table(
+        rows, title="QK-PU parallelism sweep (paper Fig. 13)"))
+    print("  -> >1.0 utilization = V-PU over-subscribed (throttles tile);"
+          "\n     the paper picks N_QK=6 (AE) and 8 (HP) as balanced.\n")
+
+    rows = []
+    for b in (1, 2, 4, 12):
+        config = replace(AE_LEOPARD, name=f"B{b}", serial_bits=b)
+        sim = TileSimulator(config).run(jobs)
+        breakdown = energy.breakdown(sim.counters, config)
+        per_score = ((breakdown.qk_compute + breakdown.key_memory)
+                     / max(sim.counters.scores_total, 1))
+        rows.append({
+            "B": b,
+            "QK energy/score": per_score,
+            "speedup": base.total_cycles / sim.total_cycles,
+        })
+    reference = rows[-1]["QK energy/score"]
+    for row in rows:
+        row["normalized"] = row["QK energy/score"] / reference
+    print(format_dict_table(
+        rows, title="Bit-serial granularity sweep (paper Fig. 14)"))
+    print("  -> B=2 balances latching overhead (hurts B=1) against"
+          "\n     early-termination resolution (hurts B=4/12).")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "bert_base_glue/G-QNLI")

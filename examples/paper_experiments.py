@@ -1,0 +1,71 @@
+"""Regenerate the paper's tables and figures from the command line.
+
+Runs any subset of the 12 reproduced artifacts (fig2, fig6-fig14,
+table1, table2) and prints their data tables.  Trained workloads are
+cached within the process, so running several experiments only trains
+each task once.
+
+Run:
+    python examples/paper_experiments.py table1 fig12        # instant
+    python examples/paper_experiments.py fig7 fig9 fig10     # trains subset
+    python examples/paper_experiments.py --full all          # 43 tasks
+"""
+
+import argparse
+import sys
+import time
+
+from repro.eval import experiments as E
+from repro.eval.experiments import ALL_EXPERIMENTS, REPRESENTATIVE_WORKLOADS
+from repro.eval.runner import WorkloadCache
+from repro.eval.workloads import QUICK
+
+# Experiments that never train a model.
+STATIC = {"table1", "fig12"}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Regenerate LeOPArd paper artifacts")
+    parser.add_argument("experiments", nargs="+",
+                        help=f"any of {sorted(ALL_EXPERIMENTS)} or 'all'")
+    parser.add_argument("--full", action="store_true",
+                        help="use all 43 tasks instead of the "
+                             "representative subset (slow)")
+    parser.add_argument("--save-dir", default=None,
+                        help="directory to write <artifact>.json/.txt")
+    args = parser.parse_args(argv)
+
+    names = sorted(ALL_EXPERIMENTS) if "all" in args.experiments \
+        else args.experiments
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+
+    workloads = None if args.full else list(REPRESENTATIVE_WORKLOADS)
+    cache = WorkloadCache()
+
+    for name in names:
+        runner = ALL_EXPERIMENTS[name]
+        start = time.time()
+        if name in STATIC:
+            result = runner()
+        elif name == "fig2":
+            result = runner(QUICK)
+        elif name == "fig14":
+            result = runner(QUICK, cache=cache)   # MemN2N subset built in
+        elif name == "baselines":
+            result = runner(QUICK, cache=cache)   # single-workload sweep
+        else:
+            result = runner(QUICK, workloads=workloads, cache=cache)
+        elapsed = time.time() - start
+        print(result.table)
+        print(f"[{name} done in {elapsed:.1f}s]\n")
+        if args.save_dir:
+            from repro.eval.artifacts import save_experiment
+            path = save_experiment(result, args.save_dir)
+            print(f"[saved {path}]\n")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

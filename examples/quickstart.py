@@ -1,0 +1,94 @@
+"""Quickstart: learned runtime pruning end to end on one task.
+
+Trains a small BERT-style classifier on a synthetic GLUE-like task,
+runs the paper's pruning-aware fine-tuning (soft threshold + surrogate
+L0), then deploys the learned thresholds in HARD mode and simulates the
+LeOPArd accelerator against the non-pruning baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import FineTuneConfig, SurrogateL0Config, finetune_with_pruning, measure_pruning
+from repro.data import batches, make_glue_task
+from repro.data.glue import VOCAB_SIZE
+from repro.hw import AE_LEOPARD, EnergyModel, TileSimulator, baseline_like
+from repro.hw.workload import jobs_from_records
+from repro.models import ClassifierConfig, TransformerClassifier
+from repro.optim import Adam, clip_grad_norm
+
+
+def main():
+    rng = np.random.default_rng(0)
+    task = make_glue_task("qnli", train_size=256, test_size=64, seed=0)
+
+    # 1. Task training (the paper starts from a pretrained checkpoint).
+    model = TransformerClassifier(ClassifierConfig(
+        vocab_size=VOCAB_SIZE, max_seq_len=24, dim=32, num_heads=2,
+        num_layers=2, num_classes=2, seed=0))
+    optimizer = Adam(model.parameters(), lr=3e-3)
+    for epoch in range(10):
+        for batch in batches(task.train, 32, rng=rng, shuffle=True):
+            loss = model.loss(batch)
+            optimizer.zero_grad()
+            loss.backward()
+            clip_grad_norm(optimizer.all_params(), 1.0)
+            optimizer.step()
+
+    def accuracy():
+        correct = total = 0
+        model.eval()
+        for batch in batches(task.test, 32):
+            c, t = model.metrics(batch)
+            correct += c
+            total += t
+        return correct / total
+
+    baseline_accuracy = accuracy()
+    print(f"baseline accuracy (no pruning): {baseline_accuracy:.3f}")
+
+    # 2. Pruning-aware fine-tuning: learn one threshold per layer.
+    controller = model.make_controller(
+        l0_config=SurrogateL0Config(weight=0.05))
+    history = finetune_with_pruning(
+        model, controller,
+        lambda: batches(task.train, 32, rng=rng, shuffle=True),
+        FineTuneConfig(epochs=4, weight_lr=5e-4, threshold_lr=1e-2))
+    print(f"learned per-layer thresholds: "
+          f"{controller.threshold_values().round(3)}")
+
+    # 3. Deployed metric under HARD pruning + measured pruning rate.
+    pruned_accuracy = accuracy()
+    report = measure_pruning(model, controller, batches(task.test, 32),
+                             keep_records=True, record_qk=True,
+                             max_records=8)
+    print(f"accuracy with runtime pruning:  {pruned_accuracy:.3f} "
+          f"(delta {baseline_accuracy - pruned_accuracy:+.3f})")
+    print(f"runtime pruning rate: {report.overall_rate:.1%} "
+          f"(per layer: {report.per_layer_rates().round(2)})")
+
+    # 4. Hardware simulation: LeOPArd vs baseline accelerator.
+    jobs = jobs_from_records(report.records)
+    leopard = TileSimulator(AE_LEOPARD).run(jobs)
+    baseline = TileSimulator(baseline_like(AE_LEOPARD)).run(jobs)
+    energy = EnergyModel()
+    speedup = baseline.total_cycles / leopard.total_cycles
+    energy_gain = (energy.total(baseline.counters, baseline_like(AE_LEOPARD))
+                   / energy.total(leopard.counters, AE_LEOPARD))
+    print(f"AE-LeOPArd vs baseline: {speedup:.2f}x speedup, "
+          f"{energy_gain:.2f}x energy reduction")
+
+    # 5. Package for deployment: weights + learned thresholds + HW config.
+    from repro.core import PrunedInferenceEngine
+
+    engine = PrunedInferenceEngine(model, controller)
+    engine.save("/tmp/leopard_quickstart")
+    estimate = engine.estimate_hardware(next(batches(task.test, 32)))
+    print(f"deployment engine saved; per-batch estimate: "
+          f"{estimate.runtime_ns / 1000:.1f} us on {estimate.config_name}, "
+          f"{estimate.speedup_vs_baseline:.2f}x vs baseline")
+
+
+if __name__ == "__main__":
+    main()

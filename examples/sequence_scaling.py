@@ -1,0 +1,80 @@
+"""Sequence-length scaling: the quadratic-cost motivation (paper §2.3).
+
+Attention cost grows as O(s^2 d); runtime pruning attacks exactly the
+part that scales quadratically (Score, softmax, xV).  This example
+sweeps the sequence length on synthetic attention workloads with a
+fixed score concentration and shows:
+
+* baseline cycles growing ~quadratically,
+* LeOPArd cycles growing much more slowly (the survivor count per row
+  stays roughly constant when attention is concentrated),
+* the speedup therefore widening with sequence length — the paper's
+  core scalability argument.
+
+Run:  python examples/sequence_scaling.py
+"""
+
+import numpy as np
+
+from repro.eval.reporting import format_dict_table
+from repro.hw import AE_LEOPARD, TileSimulator, baseline_like
+from repro.hw.workload import job_from_arrays
+
+
+def concentrated_attention_job(seq_len: int, dim: int = 64,
+                               relevant: int = 8, seed: int = 0):
+    """Synthetic head where each query correlates with ~``relevant``
+    keys — the concentration the paper observes in trained models."""
+    rng = np.random.default_rng(seed)
+    q = rng.standard_normal((seq_len, dim)) * 0.3
+    k = rng.standard_normal((seq_len, dim)) * 0.3
+    # plant strong query-key matches for a few keys per query
+    for row in range(seq_len):
+        partners = rng.choice(seq_len, size=min(relevant, seq_len),
+                              replace=False)
+        for partner in partners:
+            shared = rng.standard_normal(dim)
+            q[row] += 0.4 * shared
+            k[partner] += 0.4 * shared / len(partners)
+    # threshold chosen so that roughly the planted partners survive
+    scores = (q @ k.T) / np.sqrt(dim)
+    threshold = np.quantile(scores, 1.0 - 1.5 * relevant / seq_len)
+    return job_from_arrays(q, k, float(threshold))
+
+
+def main():
+    baseline_sim = TileSimulator(baseline_like(AE_LEOPARD))
+    leopard_sim = TileSimulator(AE_LEOPARD)
+
+    rows = []
+    previous = None
+    for seq_len in (16, 32, 64, 128, 256):
+        job = concentrated_attention_job(seq_len)
+        base = baseline_sim.run_job(job)
+        leo = leopard_sim.run_job(job)
+        row = {
+            "seq_len": seq_len,
+            "baseline cycles": base.total_cycles,
+            "LeOPArd cycles": leo.total_cycles,
+            "pruning rate": leo.pruning_rate,
+            "speedup": base.total_cycles / leo.total_cycles,
+        }
+        if previous is not None:
+            row["baseline growth"] = (base.total_cycles
+                                      / previous["baseline cycles"])
+            row["LeOPArd growth"] = (leo.total_cycles
+                                     / previous["LeOPArd cycles"])
+        rows.append(row)
+        previous = row
+
+    print(format_dict_table(
+        rows, title="Attention cost vs sequence length "
+                    "(concentrated scores, paper §2.3 motivation)"))
+    print("\nBaseline time per doubling approaches 4x (quadratic);"
+          "\nLeOPArd grows more slowly because the survivor count per"
+          "\nrow is bounded by the content, so the speedup widens"
+          "\nwith sequence length.")
+
+
+if __name__ == "__main__":
+    main()
