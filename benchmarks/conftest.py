@@ -11,20 +11,13 @@ individual benchmarks measure the analysis/simulation on top of it.
 
 import pytest
 
+from repro.eval.experiments import REPRESENTATIVE_WORKLOADS
 from repro.eval.runner import WorkloadCache
 from repro.eval.workloads import QUICK, get_workload
 
-BENCH_WORKLOADS = [
-    "memn2n/Task-1",
-    "memn2n/Task-7",
-    "bert_base_glue/G-SST",
-    "bert_base_glue/G-QNLI",
-    "bert_large_glue/G-SST",
-    "bert_base_squad/SQUAD",
-    "albert_squad/SQUAD",
-    "gpt2_wikitext/WikiText-2",
-    "vit_cifar/CIFAR-10",
-]
+# the single source of truth lives next to the experiments so the
+# cache fixture and `workloads=None` defaults always train the same set
+BENCH_WORKLOADS = list(REPRESENTATIVE_WORKLOADS)
 
 
 @pytest.fixture(scope="session")

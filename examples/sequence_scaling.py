@@ -36,9 +36,12 @@ def concentrated_attention_job(seq_len: int, dim: int = 64,
             shared = rng.standard_normal(dim)
             q[row] += 0.4 * shared
             k[partner] += 0.4 * shared / len(partners)
-    # threshold chosen so that roughly the planted partners survive
-    scores = (q @ k.T) / np.sqrt(dim)
-    threshold = np.quantile(scores, 1.0 - 1.5 * relevant / seq_len)
+    # threshold chosen so that roughly the planted partners survive;
+    # queries carry the 1/sqrt(d) scale, as in recorded attention jobs
+    q = q / np.sqrt(dim)
+    scores = q @ k.T
+    threshold = np.quantile(scores,
+                            max(0.0, 1.0 - 1.5 * relevant / seq_len))
     return job_from_arrays(q, k, float(threshold))
 
 

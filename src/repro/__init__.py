@@ -1,0 +1,18 @@
+"""repro — reproduction engine for conf_isca_LiGYEK22 (LeOPArd).
+
+Gradient-based learned runtime pruning of attention with bit-serial
+early termination, organized for performance from day one:
+
+* ``repro.tensor`` — numpy reverse-mode autograd tensor + functional ops
+* ``repro.nn`` / ``repro.optim`` — modules, Parameter, Adam
+* ``repro.models`` — pruning-aware transformer family + threshold controller
+* ``repro.core`` — soft-threshold fine-tuning, pruning measurement, engine
+* ``repro.data`` — synthetic GLUE/SQuAD/bAbI/WikiText/CIFAR task generators
+* ``repro.hw`` — bit-plane vectorized bit-serial kernels, tile simulator,
+  energy/area models
+* ``repro.eval`` — workload registry, cached runner, paper experiments
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,15 @@
+"""Pruning-aware training, measurement and deployment."""
+
+from .engine import HardwareEstimate, PrunedInferenceEngine
+from .finetune import (EpochStats, FineTuneConfig, FinetuneHistory,
+                       evaluate_accuracy, finetune_with_pruning)
+from .pruning import PruningMode
+from .soft_threshold import (SoftThresholdConfig, SurrogateL0Config,
+                             log_soft_threshold, soft_threshold)
+from .stats import PruningReport, measure_pruning, per_head_rates
+
+__all__ = ["FineTuneConfig", "FinetuneHistory", "EpochStats",
+           "finetune_with_pruning", "evaluate_accuracy", "PruningMode",
+           "SoftThresholdConfig", "SurrogateL0Config", "soft_threshold",
+           "log_soft_threshold", "measure_pruning", "PruningReport",
+           "per_head_rates", "PrunedInferenceEngine", "HardwareEstimate"]

@@ -1,0 +1,108 @@
+"""Deployment packaging: weights + learned thresholds + HW estimate."""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tensor import no_grad
+
+
+@dataclass(frozen=True)
+class HardwareEstimate:
+    config_name: str
+    runtime_ns: float
+    baseline_runtime_ns: float
+    speedup_vs_baseline: float
+    energy_reduction: float
+    pruning_rate: float
+
+
+class PrunedInferenceEngine:
+    """A trained model plus its controller, ready to serve.
+
+    ``save``/``load`` round-trip the weights and thresholds;
+    ``estimate_hardware`` simulates one batch on the accelerator model.
+    """
+
+    def __init__(self, model, controller):
+        self.model = model
+        self.controller = controller
+        controller.hard()
+        model.eval()
+
+    def predict(self, batch):
+        with no_grad():
+            if isinstance(batch.inputs, tuple):
+                logits = self.model.logits(*batch.inputs, batch.mask)
+            elif batch.mask is not None:
+                logits = self.model.logits(batch.inputs, batch.mask)
+            else:
+                # mask-free models (e.g. the causal LM) take tokens only
+                logits = self.model.logits(batch.inputs)
+        return logits.data.argmax(axis=-1)
+
+    def save(self, directory: str) -> str:
+        os.makedirs(directory, exist_ok=True)
+        state = self.model.state_dict()
+        np.savez_compressed(os.path.join(directory, "weights.npz"), **state)
+        meta = {
+            "model_class": type(self.model).__name__,
+            "thresholds": self.controller.threshold_values().tolist(),
+            "soft_sharpness": self.controller.soft_config.sharpness,
+        }
+        with open(os.path.join(directory, "engine.json"), "w") as fh:
+            json.dump(meta, fh, indent=2)
+        return directory
+
+    def load(self, directory: str) -> None:
+        """Restore a saved engine in place: model weights, learned
+        thresholds and the soft-gate sharpness."""
+        from .soft_threshold import SoftThresholdConfig
+
+        with open(os.path.join(directory, "engine.json")) as fh:
+            meta = json.load(fh)
+        state = np.load(os.path.join(directory, "weights.npz"))
+        self.model.load_state_dict({k: state[k] for k in state.files})
+        self.controller.set_threshold_values(np.array(meta["thresholds"]))
+        self.controller.soft_config = SoftThresholdConfig(
+            sharpness=meta["soft_sharpness"])
+
+    def estimate_hardware(self, batch, config=None) -> HardwareEstimate:
+        from ..hw import (AE_LEOPARD, EnergyModel, TileSimulator,
+                          baseline_like)
+        from ..hw.workload import jobs_from_records
+
+        config = config or AE_LEOPARD
+        modules = self.model.attention_modules()
+        for module in modules:
+            module.record_scores = True
+            module.record_qk = True
+            module.clear_records()
+        with no_grad():
+            self.model.metrics(batch)
+        records = [r for m in modules for r in m.records]
+        for module in modules:
+            module.record_scores = False
+            module.record_qk = False
+            module.clear_records()
+
+        jobs = jobs_from_records(records)
+        ours = TileSimulator(config).run(jobs)
+        base_config = baseline_like(config)
+        base = TileSimulator(base_config).run(jobs)
+        energy = EnergyModel()
+        ours_energy = energy.total(ours.counters, config)
+        base_energy = energy.total(base.counters, base_config)
+        to_ns = 1.0 / config.frequency_ghz
+        return HardwareEstimate(
+            config_name=config.name,
+            runtime_ns=ours.total_cycles * to_ns,
+            baseline_runtime_ns=base.total_cycles * to_ns,
+            speedup_vs_baseline=base.total_cycles / max(ours.total_cycles, 1),
+            energy_reduction=base_energy / max(ours_energy, 1e-12),
+            pruning_rate=ours.pruning_rate,
+        )

@@ -1,0 +1,112 @@
+"""Pruning-aware fine-tuning (paper §3.1): joint optimization of model
+weights and per-layer thresholds under the soft gate + surrogate L0."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..optim import Adam, clip_grad_norm
+from .pruning import PruningMode
+
+
+@dataclass(frozen=True)
+class FineTuneConfig:
+    epochs: int = 4
+    weight_lr: float = 5e-4
+    threshold_lr: float = 1e-2
+    grad_clip: float = 1.0
+
+
+@dataclass
+class EpochStats:
+    epoch: int
+    loss: float
+    sparsity: float
+    mean_threshold: float
+
+
+@dataclass
+class FinetuneHistory:
+    epochs: list[EpochStats] = field(default_factory=list)
+
+    def sparsities(self) -> np.ndarray:
+        return np.array([e.sparsity for e in self.epochs])
+
+    def mean_thresholds(self) -> np.ndarray:
+        return np.array([e.mean_threshold for e in self.epochs])
+
+    def losses(self) -> np.ndarray:
+        return np.array([e.loss for e in self.epochs])
+
+    def normalized_losses(self) -> np.ndarray:
+        losses = self.losses()
+        if losses.size == 0:
+            return losses
+        first = losses[0] if losses[0] != 0 else 1.0
+        return losses / first
+
+
+def finetune_with_pruning(model, controller, make_batches,
+                          config: FineTuneConfig | None = None
+                          ) -> FinetuneHistory:
+    """Fine-tune ``model`` with soft-threshold pruning active.
+
+    ``make_batches`` is a zero-argument callable returning a fresh batch
+    iterator per epoch.  Weights and thresholds get separate learning
+    rates (the threshold moves on a coarser scale than the weights).
+    Leaves the controller in HARD mode — the deployed configuration.
+    """
+    config = config or FineTuneConfig()
+    controller.soft()
+    model.train()
+    optimizer = Adam([
+        {"params": model.parameters(), "lr": config.weight_lr},
+        {"params": controller.parameters(), "lr": config.threshold_lr},
+    ])
+    weight = controller.l0_config.weight
+    history = FinetuneHistory()
+    for epoch in range(config.epochs):
+        total_loss = 0.0
+        steps = 0
+        controller.pop_soft_sparsity()   # reset epoch counters
+        for batch in make_batches():
+            loss = model.loss(batch)
+            l0 = controller.pop_l0()
+            objective = loss if l0 is None else loss + l0 * weight
+            optimizer.zero_grad()
+            objective.backward()
+            clip_grad_norm(optimizer.all_params(), config.grad_clip)
+            optimizer.step()
+            total_loss += float(loss.data)
+            steps += 1
+        history.epochs.append(EpochStats(
+            epoch=epoch,
+            loss=total_loss / max(steps, 1),
+            sparsity=controller.pop_soft_sparsity(),
+            mean_threshold=float(controller.threshold_values().mean()),
+        ))
+    controller.hard()
+    model.eval()
+    return history
+
+
+def evaluate_accuracy(model, controller, batch_iter,
+                      mode: PruningMode | None = None) -> float:
+    """Accuracy (or the model's metric) under the given pruning mode."""
+    if controller is not None and mode is not None:
+        controller.set_mode(mode)
+    model.eval()
+    total = 0.0
+    count = 0
+    for batch in batch_iter:
+        value, n = model.metrics(batch)
+        total += value
+        count += n
+    if count == 0:
+        return 0.0
+    finish = getattr(model, "finish_metric", None)
+    if finish is not None:
+        return finish(total, count)
+    return total / count

@@ -1,0 +1,20 @@
+"""Pruning modes for the threshold controller."""
+
+from __future__ import annotations
+
+import enum
+
+
+class PruningMode(enum.Enum):
+    """How learned thresholds are applied during a forward pass.
+
+    OFF   — thresholds ignored (baseline model).
+    SOFT  — differentiable gating (Eq. 6) for pruning-aware fine-tuning.
+    HARD  — deployment behavior: scores below Th are dropped exactly as
+            the accelerator's early-termination front end would drop
+            them.
+    """
+
+    OFF = "off"
+    SOFT = "soft"
+    HARD = "hard"

@@ -1,0 +1,42 @@
+"""Differentiable threshold gating (paper Eq. 6) and the surrogate L0
+sparsity objective (paper Eq. 7a)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..tensor import Tensor
+from ..tensor import functional as F
+
+
+@dataclass(frozen=True)
+class SoftThresholdConfig:
+    """Eq. 6: gate(x) = sigmoid(s * (x - Th)).
+
+    ``sharpness`` (s) sets the width of the transition band around Th —
+    the only region where the threshold receives task gradient.
+    """
+
+    sharpness: float = 10.0
+
+
+@dataclass(frozen=True)
+class SurrogateL0Config:
+    """Eq. 7a: the balance factor (lambda) on the expected survivor
+    count, the knob that trades accuracy against pruning rate."""
+
+    weight: float = 0.05
+
+
+def soft_threshold(scores: Tensor, threshold: Tensor,
+                   config: SoftThresholdConfig | None = None) -> Tensor:
+    """Per-score soft keep-probability in [0, 1]."""
+    config = config or SoftThresholdConfig()
+    return ((scores - threshold) * config.sharpness).sigmoid()
+
+
+def log_soft_threshold(scores: Tensor, threshold: Tensor,
+                       config: SoftThresholdConfig | None = None) -> Tensor:
+    """log(gate) computed stably (additive logit mask for softmax)."""
+    config = config or SoftThresholdConfig()
+    return -F.softplus((threshold - scores) * config.sharpness)

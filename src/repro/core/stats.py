@@ -1,0 +1,96 @@
+"""Deployment-mode pruning measurement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..tensor import no_grad
+
+
+@dataclass
+class PruningReport:
+    pruned_per_layer: np.ndarray
+    valid_per_layer: np.ndarray
+    records: list = field(default_factory=list)
+
+    @property
+    def overall_rate(self) -> float:
+        total = self.valid_per_layer.sum()
+        return float(self.pruned_per_layer.sum() / max(total, 1))
+
+    def per_layer_rates(self) -> np.ndarray:
+        return self.pruned_per_layer / np.maximum(self.valid_per_layer, 1)
+
+
+def measure_pruning(model, controller, batch_iter, keep_records: bool = False,
+                    record_qk: bool = False,
+                    max_records: int | None = None) -> PruningReport:
+    """Run the model in HARD mode over ``batch_iter`` and report what
+    fraction of (valid) attention scores the learned thresholds drop.
+
+    With ``keep_records`` the per-layer attention score matrices (and
+    optionally the Q/K activations) are captured for hardware
+    simulation; ``max_records`` caps the total captured count.
+    """
+    controller.hard()
+    model.eval()
+    modules = model.attention_modules()
+    for module in modules:
+        module.clear_stats()
+        if keep_records:
+            module.record_scores = True
+            module.record_qk = record_qk
+            module.clear_records()
+    with no_grad():
+        for batch in batch_iter:
+            model.metrics(batch)
+            if (max_records is not None
+                    and sum(len(m.records) for m in modules) >= max_records):
+                break
+    records = []
+    if keep_records:
+        # interleave layers so a truncated list still spans all layers
+        per_module = [list(m.records) for m in modules]
+        depth = max((len(r) for r in per_module), default=0)
+        for i in range(depth):
+            for module_records in per_module:
+                if i < len(module_records):
+                    records.append(module_records[i])
+        if max_records is not None:
+            records = records[:max_records]
+    report = PruningReport(
+        pruned_per_layer=np.array([m.stat_pruned for m in modules],
+                                  dtype=np.float64),
+        valid_per_layer=np.array([m.stat_valid for m in modules],
+                                 dtype=np.float64),
+        records=records,
+    )
+    for module in modules:
+        module.record_scores = False
+        module.record_qk = False
+        module.clear_records()
+    return report
+
+
+def per_head_rates(records) -> np.ndarray:
+    """(num_layers, num_heads) pruning rates from captured records."""
+    layers = sorted({r.layer_index for r in records})
+    heads = max(r.pruned_mask.shape[1] for r in records)
+    pruned = np.zeros((len(layers), heads))
+    valid = np.zeros((len(layers), heads))
+    index = {layer: i for i, layer in enumerate(layers)}
+    for record in records:
+        if record.pruned_mask is None:
+            continue
+        i = index[record.layer_index]
+        if record.valid is None:
+            mask = np.ones(record.pruned_mask.shape, dtype=bool)
+        else:
+            mask = np.broadcast_to(record.valid[:, None],
+                                   record.pruned_mask.shape)
+        h = record.pruned_mask.shape[1]
+        pruned[i, :h] += (record.pruned_mask & mask).sum(axis=(0, 2, 3))
+        valid[i, :h] += mask.sum(axis=(0, 2, 3))
+    return pruned / np.maximum(valid, 1)

@@ -1,0 +1,12 @@
+"""Synthetic task generators and batching."""
+
+from .babi import make_babi_task
+from .base import Batch, Dataset, Task, batches
+from .cifar import make_cifar_task
+from .glue import make_glue_task
+from .squad import make_squad_task
+from .wikitext import make_wikitext_task
+
+__all__ = ["Batch", "Dataset", "Task", "batches", "make_glue_task",
+           "make_babi_task", "make_squad_task", "make_wikitext_task",
+           "make_cifar_task"]

@@ -1,0 +1,65 @@
+"""Datasets, batching, and the task container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+
+@dataclass
+class Batch:
+    """One minibatch.  ``inputs`` is an array or a tuple of arrays
+    (e.g. MemN2N's (story, question)); ``mask`` marks valid positions
+    (None = all valid)."""
+
+    inputs: np.ndarray | tuple
+    labels: np.ndarray
+    mask: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+@dataclass
+class Dataset:
+    inputs: np.ndarray | tuple
+    labels: np.ndarray
+    mask: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+@dataclass
+class Task:
+    name: str
+    train: Dataset
+    test: Dataset
+    num_classes: int
+    metadata: dict = field(default_factory=dict)
+
+
+def _take(inputs, index):
+    if isinstance(inputs, tuple):
+        return tuple(part[index] for part in inputs)
+    return inputs[index]
+
+
+def batches(dataset: Dataset, batch_size: int,
+            rng: np.random.Generator | None = None,
+            shuffle: bool = False) -> Iterator[Batch]:
+    """Yield minibatches; with ``shuffle`` the order is drawn from
+    ``rng`` (or a fresh generator)."""
+    n = len(dataset)
+    order = np.arange(n)
+    if shuffle:
+        (rng or np.random.default_rng()).shuffle(order)
+    for start in range(0, n, batch_size):
+        index = order[start:start + batch_size]
+        yield Batch(
+            inputs=_take(dataset.inputs, index),
+            labels=dataset.labels[index],
+            mask=None if dataset.mask is None else dataset.mask[index],
+        )

@@ -1,0 +1,45 @@
+"""Synthetic SQuAD-like span extraction.
+
+The question entity sits at position 0; the same entity occurs exactly
+once inside the passage, and the answer is that position.  Each token
+decides "am I the answer start?" by comparing itself against the
+question — two relevant keys per query row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Dataset, Task
+
+NUM_ENTITIES = 16
+ENTITY_BASE = 2
+FILLER_BASE = ENTITY_BASE + NUM_ENTITIES
+VOCAB_SIZE = FILLER_BASE + 32
+
+
+def _make_split(rng: np.random.Generator, size: int,
+                seq_len: int) -> Dataset:
+    tokens = rng.integers(FILLER_BASE, VOCAB_SIZE, (size, seq_len))
+    labels = np.zeros(size, dtype=np.int64)
+    for i in range(size):
+        entity = ENTITY_BASE + rng.integers(0, NUM_ENTITIES)
+        answer = int(rng.integers(1, seq_len))
+        tokens[i, 0] = entity
+        tokens[i, answer] = entity
+        labels[i] = answer
+    return Dataset(inputs=tokens, labels=labels)
+
+
+def make_squad_task(variant: str, train_size: int, test_size: int,
+                    seed: int = 0) -> Task:
+    seq_len = {"v1": 20, "v2": 24}.get(variant, 20)
+    rng = np.random.default_rng(
+        np.random.SeedSequence([seed, 11, 1 if variant == "v1" else 2]))
+    return Task(
+        name=f"SQUAD-{variant}" if variant != "v1" else "SQUAD",
+        train=_make_split(rng, train_size, seq_len),
+        test=_make_split(rng, test_size, seq_len),
+        num_classes=seq_len,
+        metadata={"seq_len": seq_len, "vocab_size": VOCAB_SIZE},
+    )

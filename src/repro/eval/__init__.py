@@ -1,0 +1,11 @@
+"""Workload registry, cached runner, experiments, reporting, artifacts."""
+
+from . import experiments, reporting
+from .artifacts import save_experiment
+from .runner import WorkloadCache, WorkloadResult, run_workload
+from .workloads import (QUICK, TINY, Scale, WorkloadSpec, get_workload,
+                        list_workloads)
+
+__all__ = ["experiments", "reporting", "save_experiment", "WorkloadCache",
+           "WorkloadResult", "run_workload", "QUICK", "TINY", "Scale",
+           "WorkloadSpec", "get_workload", "list_workloads"]

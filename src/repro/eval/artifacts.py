@@ -1,0 +1,43 @@
+"""Experiment artifact persistence (<name>.json + <name>.txt)."""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, is_dataclass
+
+import numpy as np
+
+
+def _jsonable(value):
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(asdict(value))
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "__dict__"):
+        return {k: _jsonable(v) for k, v in vars(value).items()
+                if not k.startswith("_")}
+    return repr(value)
+
+
+def save_experiment(result, directory: str) -> str:
+    """Write ``<name>.json`` (data payload) and ``<name>.txt`` (table);
+    returns the json path."""
+    os.makedirs(directory, exist_ok=True)
+    json_path = os.path.join(directory, f"{result.name}.json")
+    with open(json_path, "w") as fh:
+        json.dump({"name": result.name, "title": result.title,
+                   "data": _jsonable(result.data)}, fh, indent=2)
+    with open(os.path.join(directory, f"{result.name}.txt"), "w") as fh:
+        fh.write(result.table + "\n")
+    return json_path

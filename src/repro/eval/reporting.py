@@ -1,0 +1,84 @@
+"""Plain-text reporting helpers for experiments and examples."""
+
+from __future__ import annotations
+
+import numpy as np
+
+HEAT_CHARS = " .:-=+*#%@"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    if isinstance(value, (float, np.floating)):
+        value = float(value)
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_dict_table(rows: list[dict], title: str | None = None) -> str:
+    """Align a list of dicts into a text table; columns follow first
+    appearance order across rows."""
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    cells = [[_format_value(row.get(col, "")) for col in columns]
+             for row in rows]
+    widths = [max(len(col), *(len(line[i]) for line in cells)) if cells
+              else len(col) for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for line in cells:
+        lines.append("  ".join(cell.rjust(w)
+                               for cell, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_series(x_label: str, xs, series: dict[str, list],
+                  title: str | None = None) -> str:
+    """Table of one x column plus named series columns."""
+    rows = []
+    for i, x in enumerate(xs):
+        row = {x_label: x}
+        for name, values in series.items():
+            row[name] = values[i]
+        rows.append(row)
+    return format_dict_table(rows, title=title)
+
+
+def ascii_heatmap(matrix: np.ndarray) -> str:
+    """2D array -> text heatmap (dark chars = high).  Boolean arrays
+    render as '#' (True) / '.' (False)."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected 2D array, got shape {matrix.shape}")
+    if matrix.dtype == bool:
+        return "\n".join("".join("#" if cell else "." for cell in row)
+                         for row in matrix)
+    low = float(matrix.min())
+    high = float(matrix.max())
+    span = (high - low) or 1.0
+    scaled = ((matrix - low) / span * (len(HEAT_CHARS) - 1)).astype(int)
+    return "\n".join("".join(HEAT_CHARS[cell] for cell in row)
+                     for row in scaled)
+
+
+def geometric_mean(values) -> float:
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        return 0.0
+    return float(np.exp(np.log(np.maximum(values, 1e-12)).mean()))

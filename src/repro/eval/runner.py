@@ -1,0 +1,130 @@
+"""Workload runner + the session-scoped trained-model cache.
+
+Training is the expensive step of every experiment, so ``WorkloadCache``
+memoizes :func:`run_workload` results by (workload, scale) — the
+benchmark suite trains each task exactly once per session and every
+figure/table reuses the cached model, records and hardware jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import (FineTuneConfig, FinetuneHistory, PruningReport,
+                    SurrogateL0Config, evaluate_accuracy,
+                    finetune_with_pruning, measure_pruning)
+from ..core.pruning import PruningMode
+from ..data import batches
+from ..optim import Adam, clip_grad_norm
+from .workloads import Scale, WorkloadSpec
+
+
+@dataclass
+class WorkloadResult:
+    spec: WorkloadSpec
+    scale: Scale
+    model: object
+    controller: object
+    history: FinetuneHistory
+    pruning_report: PruningReport
+    baseline_metric: float
+    pruned_metric: float
+
+    _hw_jobs: list | None = field(default=None, repr=False)
+
+    @property
+    def metric_name(self) -> str:
+        return self.spec.metric
+
+    @property
+    def records(self) -> list:
+        return self.pruning_report.records
+
+    @property
+    def pruning_rate(self) -> float:
+        return self.pruning_report.overall_rate
+
+    @property
+    def metric_delta(self) -> float:
+        """Degradation, positive = worse (sign-aware per metric)."""
+        if self.spec.metric == "perplexity":
+            return self.pruned_metric - self.baseline_metric
+        return self.baseline_metric - self.pruned_metric
+
+    def hw_jobs(self) -> list:
+        if self._hw_jobs is None:
+            from ..hw.workload import jobs_from_records
+            self._hw_jobs = jobs_from_records(self.records)
+        return self._hw_jobs
+
+
+def run_workload(spec: WorkloadSpec, scale: Scale,
+                 track_epochs: bool = False) -> WorkloadResult:
+    """Pretrain, measure the no-pruning baseline, run pruning-aware
+    fine-tuning, then measure the deployed (HARD) metric and pruning."""
+    del track_epochs  # epoch history is always tracked
+    data = spec.make_data(scale)
+    model = spec.make_model(data)
+    rng = np.random.default_rng(np.random.SeedSequence([spec.seed, 101]))
+
+    pretrain_epochs = max(1, round(
+        scale.pretrain_epochs * spec.pretrain_epoch_factor))
+    optimizer = Adam(model.parameters(), lr=spec.pretrain_lr)
+    model.train()
+    for _ in range(pretrain_epochs):
+        for batch in batches(data.train, scale.batch_size, rng=rng,
+                             shuffle=True):
+            loss = model.loss(batch)
+            optimizer.zero_grad()
+            loss.backward()
+            clip_grad_norm(optimizer.all_params(), 1.0)
+            optimizer.step()
+
+    baseline_metric = evaluate_accuracy(
+        model, None, batches(data.test, scale.batch_size))
+
+    controller = model.make_controller(
+        l0_config=SurrogateL0Config(weight=spec.l0_weight))
+    finetune_epochs = max(1, round(
+        scale.finetune_epochs * spec.finetune_epoch_factor))
+    history = finetune_with_pruning(
+        model, controller,
+        lambda: batches(data.train, scale.batch_size, rng=rng,
+                        shuffle=True),
+        FineTuneConfig(epochs=finetune_epochs, weight_lr=spec.weight_lr,
+                       threshold_lr=spec.threshold_lr))
+
+    pruned_metric = evaluate_accuracy(
+        model, controller, batches(data.test, scale.batch_size),
+        PruningMode.HARD)
+    report = measure_pruning(
+        model, controller, batches(data.test, scale.batch_size),
+        keep_records=True, record_qk=True, max_records=scale.max_records)
+
+    return WorkloadResult(
+        spec=spec, scale=scale, model=model, controller=controller,
+        history=history, pruning_report=report,
+        baseline_metric=baseline_metric, pruned_metric=pruned_metric)
+
+
+class WorkloadCache:
+    """Session-scoped memo of trained workloads keyed by (name, scale)."""
+
+    def __init__(self):
+        self._results: dict[tuple[str, str], WorkloadResult] = {}
+
+    def get(self, spec: WorkloadSpec, scale: Scale) -> WorkloadResult:
+        key = (spec.name, scale.name)
+        if key not in self._results:
+            self._results[key] = run_workload(spec, scale)
+        return self._results[key]
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __contains__(self, key) -> bool:
+        """Accepts the same (spec, scale) pair that ``get`` takes."""
+        spec, scale = key
+        return (spec.name, scale.name) in self._results

@@ -1,0 +1,213 @@
+"""Workload registry: the paper's 43-task benchmark suite, synthetic.
+
+Suites mirror the paper's Table: MemN2N on 20 bAbI tasks, BERT-base and
+BERT-large on 9 GLUE tasks each, BERT/ALBERT on SQuAD, GPT-2 on
+WikiText-2 and ViT on CIFAR-10 (20+9+9+2+1+1+1 = 43).  Each spec
+carries the per-suite fine-tuning hyperparameters (the paper tunes the
+threshold learning rate and the Eq. 7a balance factor per task family).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..data import (Task, make_babi_task, make_cifar_task, make_glue_task,
+                    make_squad_task, make_wikitext_task)
+from ..models import (ClassifierConfig, LMConfig, MemN2N, MemN2NConfig,
+                      TransformerClassifier, TransformerLM)
+
+
+@dataclass(frozen=True)
+class Scale:
+    """How big a reproduction run is; QUICK is the benchmark default."""
+
+    name: str
+    train_size: int
+    test_size: int
+    batch_size: int
+    pretrain_epochs: int
+    finetune_epochs: int
+    max_records: int
+
+
+TINY = Scale("tiny", train_size=96, test_size=32, batch_size=32,
+             pretrain_epochs=4, finetune_epochs=2, max_records=4)
+QUICK = Scale("quick", train_size=256, test_size=64, batch_size=32,
+              pretrain_epochs=8, finetune_epochs=4, max_records=8)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    name: str                 # "suite/task"
+    suite: str
+    task: str
+    metric: str               # "accuracy" | "perplexity"
+    data_fn: Callable
+    model_fn: Callable
+    l0_weight: float = 0.05
+    threshold_lr: float = 8e-3
+    weight_lr: float = 5e-4
+    pretrain_lr: float = 3e-3
+    pretrain_epoch_factor: float = 1.0
+    finetune_epoch_factor: float = 1.0
+    seed: int = 0
+
+    def make_data(self, scale: Scale, seed: int | None = None) -> Task:
+        return self.data_fn(scale, self.seed if seed is None else seed)
+
+    def make_model(self, task: Task):
+        return self.model_fn(task, self.seed)
+
+
+# ---------------------------------------------------------------------------
+# model builders
+# ---------------------------------------------------------------------------
+
+def _bert_base(task: Task, seed: int) -> TransformerClassifier:
+    return TransformerClassifier(ClassifierConfig(
+        vocab_size=task.metadata["vocab_size"],
+        max_seq_len=task.metadata["seq_len"] + 2,
+        dim=32, num_heads=2, num_layers=2,
+        num_classes=task.num_classes, seed=seed))
+
+
+def _bert_large(task: Task, seed: int) -> TransformerClassifier:
+    return TransformerClassifier(ClassifierConfig(
+        vocab_size=task.metadata["vocab_size"],
+        max_seq_len=task.metadata["seq_len"] + 2,
+        dim=48, num_heads=4, num_layers=3,
+        num_classes=task.num_classes, seed=seed))
+
+
+def _span_model(dim: int, layers: int):
+    def build(task: Task, seed: int) -> TransformerClassifier:
+        return TransformerClassifier(ClassifierConfig(
+            vocab_size=task.metadata["vocab_size"],
+            max_seq_len=task.metadata["seq_len"] + 2,
+            dim=dim, num_heads=2, num_layers=layers,
+            num_classes=task.num_classes, head="span", seed=seed))
+    return build
+
+
+def _gpt2(task: Task, seed: int) -> TransformerLM:
+    return TransformerLM(LMConfig(
+        vocab_size=task.metadata["vocab_size"],
+        max_seq_len=task.metadata["seq_len"] + 8,
+        dim=32, num_heads=2, num_layers=2, seed=seed))
+
+
+def _vit(task: Task, seed: int) -> TransformerClassifier:
+    return TransformerClassifier(ClassifierConfig(
+        vocab_size=None, input_dim=task.metadata["patch_dim"],
+        max_seq_len=task.metadata["num_patches"],
+        dim=32, num_heads=2, num_layers=2,
+        num_classes=task.num_classes, seed=seed))
+
+
+def _memn2n(task: Task, seed: int) -> MemN2N:
+    return MemN2N(MemN2NConfig(
+        vocab_size=task.metadata["vocab_size"],
+        num_slots=task.metadata["num_slots"],
+        sentence_len=task.metadata["sentence_len"],
+        dim=24, num_hops=3, num_classes=task.num_classes, seed=seed))
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+GLUE_TASK_IDS = ["cola", "sst", "mrpc", "stsb", "qqp", "mnli", "qnli",
+                 "rte", "wnli"]
+
+WORKLOADS: dict[str, WorkloadSpec] = {}
+
+
+def _register(spec: WorkloadSpec) -> None:
+    WORKLOADS[spec.name] = spec
+
+
+def _glue_data(task_id: str):
+    return lambda scale, seed: make_glue_task(
+        task_id, scale.train_size, scale.test_size, seed)
+
+
+for i in range(1, 21):
+    _register(WorkloadSpec(
+        name=f"memn2n/Task-{i}", suite="memn2n", task=f"Task-{i}",
+        metric="accuracy",
+        data_fn=(lambda tid: lambda scale, seed: make_babi_task(
+            tid, scale.train_size, scale.test_size, seed))(i),
+        model_fn=_memn2n,
+        l0_weight=0.3, threshold_lr=6e-2, pretrain_lr=8e-3,
+        pretrain_epoch_factor=2.0,
+    ))
+
+for task_id in GLUE_TASK_IDS:
+    _register(WorkloadSpec(
+        name=f"bert_base_glue/G-{task_id.upper()}", suite="bert_base_glue",
+        task=f"G-{task_id.upper()}", metric="accuracy",
+        data_fn=_glue_data(task_id), model_fn=_bert_base,
+        l0_weight=0.05, threshold_lr=8e-3, pretrain_epoch_factor=2.0,
+    ))
+    _register(WorkloadSpec(
+        name=f"bert_large_glue/G-{task_id.upper()}", suite="bert_large_glue",
+        task=f"G-{task_id.upper()}", metric="accuracy",
+        data_fn=_glue_data(task_id), model_fn=_bert_large,
+        l0_weight=0.05, threshold_lr=8e-3, pretrain_epoch_factor=2.0,
+    ))
+
+_register(WorkloadSpec(
+    name="bert_base_squad/SQUAD", suite="bert_base_squad", task="SQUAD",
+    metric="accuracy",
+    data_fn=lambda scale, seed: make_squad_task(
+        "v1", scale.train_size, scale.test_size, seed),
+    model_fn=_span_model(32, 2),
+    l0_weight=0.05, threshold_lr=8e-3, pretrain_epoch_factor=2.0,
+))
+_register(WorkloadSpec(
+    name="bert_base_squad/SQUAD-v2", suite="bert_base_squad",
+    task="SQUAD-v2", metric="accuracy",
+    data_fn=lambda scale, seed: make_squad_task(
+        "v2", scale.train_size, scale.test_size, seed),
+    model_fn=_span_model(32, 2),
+    l0_weight=0.05, threshold_lr=8e-3, pretrain_epoch_factor=2.0,
+))
+_register(WorkloadSpec(
+    name="albert_squad/SQUAD", suite="albert_squad", task="SQUAD",
+    metric="accuracy",
+    data_fn=lambda scale, seed: make_squad_task(
+        "v1", scale.train_size, scale.test_size, seed + 1),
+    model_fn=_span_model(28, 2),
+    l0_weight=0.05, threshold_lr=8e-3, pretrain_epoch_factor=2.0, seed=1,
+))
+_register(WorkloadSpec(
+    name="gpt2_wikitext/WikiText-2", suite="gpt2_wikitext",
+    task="WikiText-2", metric="perplexity",
+    data_fn=lambda scale, seed: make_wikitext_task(
+        scale.train_size, scale.test_size, seed),
+    model_fn=_gpt2,
+    l0_weight=0.05, threshold_lr=8e-3, weight_lr=3e-4,
+    pretrain_epoch_factor=2.0,
+))
+_register(WorkloadSpec(
+    name="vit_cifar/CIFAR-10", suite="vit_cifar", task="CIFAR-10",
+    metric="accuracy",
+    data_fn=lambda scale, seed: make_cifar_task(
+        scale.train_size, scale.test_size, seed),
+    model_fn=_vit,
+    l0_weight=0.02, threshold_lr=4e-3, pretrain_epoch_factor=1.0,
+))
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; have "
+                       f"{len(WORKLOADS)} (e.g. {next(iter(WORKLOADS))})")
+
+
+def list_workloads(suite: str | None = None) -> list[str]:
+    return [name for name, spec in WORKLOADS.items()
+            if suite is None or spec.suite == suite]

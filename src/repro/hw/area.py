@@ -1,0 +1,61 @@
+"""Tile area model (paper Fig. 12 / Table 2).
+
+Component areas are parameterized by the config so the paper's
+iso-area claim falls out structurally: the baseline's single 12x12
+bit-parallel QK array occupies exactly the area of AE-LeOPArd's six
+12x2 bit-serial DPUs (144 bit-products each); HP's eight DPUs cost
+~13% more tile area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import TileConfig
+
+# calibrated to a ~3.2 mm^2 65 nm AE tile with the paper's shares:
+# qk_logic 38%, softmax 13%, v_logic 15%, key buffer 16%, value 18%
+A_QK_PER_BITPRODUCT = 0.38 * 3.2 / (6 * 12 * 2)   # mm^2 per bit-product
+A_SOFTMAX = 0.13 * 3.2
+A_V_LOGIC = 0.15 * 3.2
+A_KEY_BUFFER_PER_KB = 0.16 * 3.2 / 48             # banked for bit-serial
+A_VALUE_BUFFER_PER_KB = 0.18 * 3.2 / 64
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    qk_logic: float
+    softmax: float
+    v_logic: float
+    key_buffer: float
+    value_buffer: float
+
+    @property
+    def total_mm2(self) -> float:
+        return (self.qk_logic + self.softmax + self.v_logic
+                + self.key_buffer + self.value_buffer)
+
+    def shares(self) -> dict[str, float]:
+        total = self.total_mm2
+        return {
+            "qk_logic": self.qk_logic / total,
+            "softmax": self.softmax / total,
+            "v_logic": self.v_logic / total,
+            "key_buffer": self.key_buffer / total,
+            "value_buffer": self.value_buffer / total,
+        }
+
+
+class AreaModel:
+    def tile_area(self, config: TileConfig) -> AreaBreakdown:
+        bit_products = (config.num_qk_dpus * config.qk_bits
+                        * config.serial_bits)
+        # the key buffer holds keys at the datapath's bit width
+        key_kb = config.key_buffer_kb * config.qk_bits / 12
+        return AreaBreakdown(
+            qk_logic=A_QK_PER_BITPRODUCT * bit_products,
+            softmax=A_SOFTMAX,
+            v_logic=A_V_LOGIC,
+            key_buffer=A_KEY_BUFFER_PER_KB * key_kb,
+            value_buffer=A_VALUE_BUFFER_PER_KB * config.value_buffer_kb,
+        )

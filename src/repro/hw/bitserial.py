@@ -1,0 +1,187 @@
+"""Sign-magnitude bit-serial Q·K kernels with early termination
+(paper §3.2, Fig. 3).
+
+Two implementations of the same hardware semantics:
+
+* ``bitserial_dot_product`` — the scalar reference trace, kept for the
+  walkthrough/exactness demos.  One Python iteration per cycle, full
+  per-cycle history.
+* ``bitserial_cycles_matrix`` — the hot path.  Evaluates an entire
+  S_q x S_k score tile in **O(bit-planes) numpy passes**: one batched
+  plane-contribution einsum, a grouped cumulative sum for the partial
+  sums, and a closed-form conservative margin per plane group.  No
+  per-element Python looping anywhere.
+
+Semantics: keys are sign-magnitude with ``magnitude_bits`` magnitude
+bits, processed MSB-first in groups of ``group`` bit-planes per cycle;
+the sign plane is consumed in the first cycle.  After each cycle the
+DPU knows the partial sum P and a conservative margin M (the largest
+value the unprocessed low-order bits could still add).  If
+``P + M < threshold`` the score can never survive pruning, and the
+DPU terminates early — provably without changing the prune decision.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def serial_cycle_count(total_bits: int, group: int) -> int:
+    """Cycles to process ``total_bits`` bit-planes (sign included),
+    ``group`` planes per cycle."""
+    return math.ceil(total_bits / group)
+
+
+def _plane_schedule(magnitude_bits: int, group: int) -> list[list[int]]:
+    """Chunk the plane sequence [sign, MSB..LSB] into per-cycle groups.
+
+    Planes are encoded as -1 for the sign plane and p for the magnitude
+    plane of weight 2**p.
+    """
+    planes = [-1] + list(range(magnitude_bits - 1, -1, -1))
+    return [planes[i:i + group] for i in range(0, len(planes), group)]
+
+
+# ---------------------------------------------------------------------------
+# scalar reference trace
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CycleStep:
+    cycle: int
+    partial_sum: float
+    margin: float
+    terminated: bool
+
+
+@dataclass(frozen=True)
+class BitSerialTrace:
+    cycles: int
+    early_terminated: bool
+    pruned: bool
+    exact_value: float
+    history: tuple[CycleStep, ...]
+
+
+def bitserial_dot_product(q, k, threshold: float, magnitude_bits: int,
+                          group: int = 1) -> BitSerialTrace:
+    """Reference scalar trace of one dot product's bit-serial schedule."""
+    q = np.asarray(q, dtype=np.int64)
+    k = np.asarray(k, dtype=np.int64)
+    signs = np.sign(k)
+    magnitudes = np.abs(k)
+    exact = float(q @ k)
+    schedule = _plane_schedule(magnitude_bits, group)
+    full_cycles = len(schedule)
+    # max positive contribution per remaining magnitude unit
+    positive = float(np.maximum(q * signs, 0).sum())
+
+    partial = 0.0
+    remaining = magnitude_bits
+    history: list[CycleStep] = []
+    for cycle_index, chunk in enumerate(schedule, start=1):
+        for plane in chunk:
+            if plane < 0:
+                continue  # sign plane: no arithmetic contribution
+            bit = (magnitudes >> plane) & 1
+            partial += float(q @ (signs * bit)) * (1 << plane)
+            remaining -= 1
+        margin = positive * ((1 << remaining) - 1)
+        terminated = (cycle_index < full_cycles
+                      and partial + margin < threshold)
+        history.append(CycleStep(cycle_index, partial, margin, terminated))
+        if terminated:
+            return BitSerialTrace(
+                cycles=cycle_index, early_terminated=True, pruned=True,
+                exact_value=exact, history=tuple(history))
+    return BitSerialTrace(
+        cycles=full_cycles, early_terminated=False,
+        pruned=exact < threshold, exact_value=exact,
+        history=tuple(history))
+
+
+# ---------------------------------------------------------------------------
+# vectorized bit-plane kernel (the hot path)
+# ---------------------------------------------------------------------------
+
+def bitserial_cycles_matrix(q, k, threshold: float, magnitude_bits: int,
+                            group: int, valid: np.ndarray | None = None,
+                            margin_scale: float = 1.0
+                            ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Early-termination cycle counts for a whole score tile.
+
+    ``q``: (S_q, D) integer queries (full precision, bit-parallel);
+    ``k``: (S_k, D) integer keys (sign-magnitude, bit-serial).
+
+    Returns ``(cycles, pruned, scores)``:
+
+    * ``cycles[i, j]`` — DPU cycles spent on score (i, j); pruned
+      scores terminate as soon as partial-sum + margin drops below the
+      threshold, surviving scores take the full schedule.
+    * ``pruned[i, j]`` — the prune decision.  With the conservative
+      margin (``margin_scale=1``) it equals ``scores < threshold``
+      exactly; smaller margins terminate earlier but may wrongly prune.
+    * ``scores`` — the exact integer dot products, as float64.
+
+    Complexity: O(bit-planes) whole-matrix numpy passes — one stacked
+    einsum for all plane contributions, then one (cycles, S_q, S_k)
+    cumulative pass for partial sums, margins and first-termination
+    search.  Zero Python-level per-element work.
+    """
+    q = np.asarray(q, dtype=np.int64)
+    k = np.asarray(k, dtype=np.int64)
+    signs = np.sign(k)
+    magnitudes = np.abs(k)
+    qf = q.astype(np.float64)
+
+    schedule = _plane_schedule(magnitude_bits, group)
+    full_cycles = len(schedule)
+
+    # one weighted sign-plane tensor per magnitude plane, MSB..LSB:
+    # planes[p] = signs * bit_p(k) * 2^p  -> contribution = q @ planes[p].T
+    weights = (1 << np.arange(magnitude_bits - 1, -1, -1,
+                              dtype=np.int64))
+    bits = (magnitudes[None, :, :] >> np.arange(
+        magnitude_bits - 1, -1, -1)[:, None, None]) & 1
+    plane_keys = (signs[None, :, :] * bits
+                  * weights[:, None, None]).astype(np.float64)
+    # (planes, S_q, S_k) contributions in ONE batched matmul pass
+    contributions = np.einsum("qd,pkd->pqk", qf, plane_keys,
+                              optimize=True)
+
+    # exact scores: sum of all plane contributions (integers in f64)
+    scores = contributions.sum(axis=0)
+
+    # largest possible remaining contribution per unit magnitude:
+    # only elements with q_i * sign(k_i) > 0 can push the sum up
+    positive = (np.maximum(qf, 0.0) @ np.maximum(signs, 0).T
+                + np.maximum(-qf, 0.0) @ np.maximum(-signs, 0).T)
+
+    # grouped cumulative partial sums + margins, one pass per cycle
+    cycles = np.full(scores.shape, full_cycles, dtype=np.int64)
+    terminated = np.zeros(scores.shape, dtype=bool)
+    partial = np.zeros_like(scores)
+    plane_cursor = 0
+    remaining = magnitude_bits
+    for cycle_index, chunk in enumerate(schedule, start=1):
+        magnitude_planes = sum(1 for plane in chunk if plane >= 0)
+        if magnitude_planes:
+            stop = plane_cursor + magnitude_planes
+            partial = partial + contributions[plane_cursor:stop].sum(axis=0)
+            plane_cursor = stop
+            remaining -= magnitude_planes
+        if cycle_index == full_cycles:
+            break
+        margin = positive * ((1 << remaining) - 1) * margin_scale
+        newly = ~terminated & (partial + margin < threshold)
+        if newly.any():
+            cycles[newly] = cycle_index
+            terminated |= newly
+
+    pruned = terminated | (scores < threshold)
+    if valid is not None:
+        cycles = np.where(valid, cycles, 0)
+    return cycles, pruned, scores

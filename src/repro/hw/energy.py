@@ -1,0 +1,67 @@
+"""Event-level tile energy model (65 nm-flavored constants).
+
+Per-event energies are picked so the *baseline* tile spends >65% of its
+energy in the back end (softmax + xV + value memory), matching the
+paper's Fig. 11 attribution: runtime pruning removes back-end work,
+bit-serial early termination then removes front-end (QK compute + key
+memory) work on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import TileConfig
+from .tile import TileCounters
+
+# pJ per event (D-wide datapath folded into the constants)
+E_QK_MAC_BIT = 0.10      # one bit-plane MAC'd across D lanes
+E_QK_LATCH = 0.055       # per DPU-cycle partial-sum latching
+E_KEY_SRAM_BIT = 0.0833  # one key bit-plane (D wide) read
+E_SOFTMAX_EXP = 1.2      # per surviving score
+E_SOFTMAX_NORM = 6.0     # per query row
+E_V_MAC = 2.0            # 12-bit x 12-bit MAC across D, per survivor
+E_VALUE_SRAM = 2.0       # value-vector read, per survivor
+P_LEAK_BASE = 0.05       # per tile-cycle
+P_LEAK_PER_DPU = 0.01    # per tile-cycle per QK DPU
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    qk_compute: float
+    key_memory: float
+    softmax: float
+    v_compute: float
+    value_memory: float
+    leakage: float
+
+    @property
+    def frontend(self) -> float:
+        return self.qk_compute + self.key_memory
+
+    @property
+    def backend(self) -> float:
+        return self.softmax + self.v_compute + self.value_memory
+
+    @property
+    def total(self) -> float:
+        return self.frontend + self.backend + self.leakage
+
+
+class EnergyModel:
+    def breakdown(self, counters: TileCounters,
+                  config: TileConfig) -> EnergyBreakdown:
+        return EnergyBreakdown(
+            qk_compute=(counters.qk_bits_processed * E_QK_MAC_BIT
+                        + counters.qk_lane_cycles * E_QK_LATCH),
+            key_memory=counters.qk_bits_processed * E_KEY_SRAM_BIT,
+            softmax=(counters.survivors * E_SOFTMAX_EXP
+                     + counters.rows * E_SOFTMAX_NORM),
+            v_compute=counters.survivors * E_V_MAC,
+            value_memory=counters.survivors * E_VALUE_SRAM,
+            leakage=counters.runtime_cycles * (
+                P_LEAK_BASE + P_LEAK_PER_DPU * config.num_qk_dpus),
+        )
+
+    def total(self, counters: TileCounters, config: TileConfig) -> float:
+        return self.breakdown(counters, config).total

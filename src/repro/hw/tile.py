@@ -1,0 +1,151 @@
+"""Cycle-level tile simulator (paper §4): N_QK bit-serial front-end
+DPUs feeding a softmax + xV back-end (V-PU).
+
+The simulator is fully array-based: per job it runs the vectorized
+bit-plane kernel once, then schedules rows across DPU lanes and the
+V-PU with whole-array reductions — no per-score Python work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .bitserial import bitserial_cycles_matrix, serial_cycle_count
+from .config import TileConfig
+from .workload import HeadJob
+
+
+@dataclass
+class TileCounters:
+    """Activity counters consumed by the energy model."""
+
+    scores_total: int = 0          # valid score positions
+    scores_pruned: int = 0         # dropped by the learned threshold
+    survivors: int = 0             # scores reaching the back end
+    qk_lane_cycles: int = 0        # DPU-cycles across all lanes
+    qk_bits_processed: int = 0     # K bit-planes consumed
+    rows: int = 0                  # query rows with any valid score
+    vpu_busy_cycles: int = 0
+    runtime_cycles: int = 0        # tile-clock cycles (for leakage)
+
+    def add(self, other: "TileCounters") -> None:
+        for name in vars(self):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+@dataclass
+class TileRunResult:
+    config: TileConfig
+    total_cycles: int
+    frontend_cycles: int
+    backend_cycles: int
+    frontend_stall_cycles: int
+    counters: TileCounters
+    jobs: int
+
+    @property
+    def pruning_rate(self) -> float:
+        return self.counters.scores_pruned / max(self.counters.scores_total,
+                                                 1)
+
+    @property
+    def vpu_utilization(self) -> float:
+        """Back-end demand per front-end cycle; > 1 means the V-PU is
+        over-subscribed and throttles the tile."""
+        return self.backend_cycles / max(self.frontend_cycles, 1)
+
+    @property
+    def runtime_ns(self) -> float:
+        return self.total_cycles / self.config.frequency_ghz
+
+
+class TileSimulator:
+    def __init__(self, config: TileConfig):
+        self.config = config
+
+    # -- per-job scheduling, all whole-array ops ------------------------
+    def _job_activity(self, job: HeadJob):
+        config = self.config
+        q, k, threshold = job.quantized_for(config.magnitude_bits)
+        valid = job.valid
+        full = serial_cycle_count(config.qk_bits, config.serial_bits)
+
+        if config.early_termination:
+            cycles, pruned, scores = bitserial_cycles_matrix(
+                q, k, threshold, config.magnitude_bits,
+                config.serial_bits, valid=valid)
+        else:
+            cycles = np.where(valid, full, 0)
+            scores = (q.astype(np.float64) @ k.T.astype(np.float64))
+            pruned = scores < threshold
+
+        pruned_valid = pruned & valid
+        if config.runtime_pruning:
+            # the back end's running-max register always survives, so a
+            # row is never pruned empty — same semantics as the model's
+            # HARD mode (models/attention.py)
+            masked = np.where(valid, scores, -np.inf)
+            is_row_max = valid & (masked == masked.max(axis=1,
+                                                       keepdims=True))
+            surviving = valid & (~pruned_valid | is_row_max)
+        else:
+            surviving = valid
+
+        active_rows = valid.any(axis=1)
+        # front end: keys of a row round-robin over N_QK lanes
+        row_lane_cycles = cycles.sum(axis=1)
+        fe_rows = np.ceil(row_lane_cycles / config.num_qk_dpus)
+        # back end: per-row softmax pipeline + per-survivor xV work
+        be_rows = np.where(
+            active_rows,
+            config.softmax_latency
+            + surviving.sum(axis=1) * config.vpu_cycles_per_score,
+            0)
+
+        fe_total = int(fe_rows.sum())
+        be_total = int(be_rows.sum())
+        # jobs stream back-to-back through the tile; the pipeline-fill
+        # latency is charged once per run, not per job
+        total = max(fe_total, be_total)
+
+        # the last cycle of a full schedule may carry fewer planes than
+        # serial_bits (e.g. 9 bits in 5x2 cycles), so cap per score
+        bits_processed = np.minimum(cycles * config.serial_bits,
+                                    config.qk_bits)
+        counters = TileCounters(
+            scores_total=int(valid.sum()),
+            scores_pruned=int(pruned_valid.sum()),
+            survivors=int(surviving.sum()),
+            qk_lane_cycles=int(cycles.sum()),
+            qk_bits_processed=int(bits_processed.sum()),
+            rows=int(active_rows.sum()),
+            vpu_busy_cycles=be_total,
+            runtime_cycles=total,
+        )
+        return total, fe_total, be_total, counters
+
+    def run_job(self, job: HeadJob) -> TileRunResult:
+        return self.run([job])
+
+    def run(self, jobs: list[HeadJob]) -> TileRunResult:
+        counters = TileCounters()
+        total = fe_all = be_all = stall = 0
+        for job in jobs:
+            job_total, fe, be, job_counters = self._job_activity(job)
+            total += job_total
+            fe_all += fe
+            be_all += be
+            stall += max(0, be - fe)
+            counters.add(job_counters)
+        if jobs:
+            fill = (self.config.full_score_cycles()
+                    + self.config.softmax_latency)
+            total += fill
+            counters.runtime_cycles += fill
+        return TileRunResult(
+            config=self.config, total_cycles=total,
+            frontend_cycles=fe_all, backend_cycles=be_all,
+            frontend_stall_cycles=stall, counters=counters,
+            jobs=len(jobs))

@@ -1,0 +1,96 @@
+"""Hardware job extraction: attention records -> quantized tile jobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+DEFAULT_MAGNITUDE_BITS = 11
+
+
+def _quantize(values: np.ndarray, magnitude_bits: int
+              ) -> tuple[np.ndarray, float]:
+    """Symmetric sign-magnitude quantization to ``magnitude_bits``."""
+    peak = float(np.abs(values).max())
+    if peak <= 0.0:
+        return np.zeros(values.shape, dtype=np.int64), 1.0
+    scale = ((1 << magnitude_bits) - 1) / peak
+    return np.round(values * scale).astype(np.int64), scale
+
+
+@dataclass
+class HeadJob:
+    """One (layer, head, sequence) attention tile job.
+
+    ``queries``/``keys``/``threshold`` are in the tile's native 12-bit
+    integer domain; the float originals are kept so simulators can
+    requantize for narrower datapaths (e.g. the 9-bit Table-2 variant).
+    """
+
+    queries: np.ndarray          # (S_q, D) int64
+    keys: np.ndarray             # (S_k, D) int64
+    threshold: float             # integer-score domain
+    valid: np.ndarray            # (S_q, S_k) bool
+    q_float: np.ndarray | None = None
+    k_float: np.ndarray | None = None
+    threshold_float: float | None = None
+    layer_index: int = 0
+    head: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.queries.shape[0], self.keys.shape[0]
+
+    def quantized_for(self, magnitude_bits: int
+                      ) -> tuple[np.ndarray, np.ndarray, float]:
+        """(queries, keys, threshold) at the requested precision."""
+        if magnitude_bits == DEFAULT_MAGNITUDE_BITS or self.q_float is None:
+            return self.queries, self.keys, self.threshold
+        q, sq = _quantize(self.q_float, magnitude_bits)
+        k, sk = _quantize(self.k_float, magnitude_bits)
+        return q, k, float(self.threshold_float) * sq * sk
+
+
+def job_from_arrays(q: np.ndarray, k: np.ndarray, threshold: float,
+                    valid: np.ndarray | None = None,
+                    magnitude_bits: int = DEFAULT_MAGNITUDE_BITS,
+                    layer_index: int = 0, head: int = 0) -> HeadJob:
+    """Build a tile job from float Q, K and a float threshold, such that
+    integer scores ~ float scores * (scale_q * scale_k)."""
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    qi, sq = _quantize(q, magnitude_bits)
+    ki, sk = _quantize(k, magnitude_bits)
+    if valid is None:
+        valid = np.ones((q.shape[0], k.shape[0]), dtype=bool)
+    return HeadJob(
+        queries=qi, keys=ki, threshold=float(threshold) * sq * sk,
+        valid=np.asarray(valid, dtype=bool),
+        q_float=q, k_float=k, threshold_float=float(threshold),
+        layer_index=layer_index, head=head,
+    )
+
+
+def jobs_from_records(records) -> list[HeadJob]:
+    """Flatten captured attention records into per-(batch, head) jobs.
+
+    Records must have been captured with ``record_qk=True`` so the
+    actual Q/K activations are available (the recorded scores already
+    include the 1/sqrt(d) scale, and so do the stored queries)."""
+    jobs: list[HeadJob] = []
+    for record in records:
+        if record.queries is None or record.keys is None:
+            raise ValueError(
+                "record captured without record_qk=True; hardware jobs "
+                "need the Q/K activations")
+        batch, heads = record.queries.shape[:2]
+        for b in range(batch):
+            valid = None if record.valid is None else record.valid[b]
+            for h in range(heads):
+                jobs.append(job_from_arrays(
+                    record.queries[b, h], record.keys[b, h],
+                    record.threshold, valid,
+                    layer_index=record.layer_index, head=h))
+    return jobs

@@ -1,0 +1,11 @@
+"""Model zoo: pruning-aware transformer family + threshold controller."""
+
+from .attention import AttentionRecord, PrunedSelfAttention
+from .controller import ThresholdController
+from .lm import LMConfig, TransformerLM
+from .memn2n import MemN2N, MemN2NConfig
+from .transformer import ClassifierConfig, TransformerClassifier
+
+__all__ = ["TransformerClassifier", "ClassifierConfig", "TransformerLM",
+           "LMConfig", "MemN2N", "MemN2NConfig", "ThresholdController",
+           "PrunedSelfAttention", "AttentionRecord"]

@@ -1,0 +1,207 @@
+"""Pruning-aware attention: the shared score-gate core plus the
+multi-head self-attention module.
+
+Every attention-like computation in the model zoo (transformer heads,
+MemN2N hops) funnels its score matrix through ``AttentionBase``'s gated
+softmax so the controller, statistics and record capture behave
+identically across models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.pruning import PruningMode
+from ..core.soft_threshold import log_soft_threshold, soft_threshold
+from ..nn import Linear, Module
+from ..tensor import Tensor, grad_enabled
+from ..tensor import functional as F
+
+NEG_INF = -1e9
+
+
+@dataclass
+class AttentionRecord:
+    """One captured forward pass of one attention layer."""
+
+    layer_index: int
+    scores: np.ndarray                   # (B, H, Sq, Sk)
+    pruned_mask: np.ndarray | None       # (B, H, Sq, Sk) bool
+    threshold: float
+    valid: np.ndarray | None = None      # (B, Sq, Sk) bool
+    queries: np.ndarray | None = None    # (B, H, Sq, Dh)
+    keys: np.ndarray | None = None       # (B, H, Sk, Dh)
+
+    def pruning_rate(self) -> float:
+        if self.pruned_mask is None:
+            return 0.0
+        if self.valid is None:
+            return float(self.pruned_mask.mean())
+        valid = np.broadcast_to(self.valid[:, None],
+                                self.pruned_mask.shape)
+        total = valid.sum()
+        return float((self.pruned_mask & valid).sum() / max(total, 1))
+
+
+class AttentionBase(Module):
+    """Controller hookup, pruning statistics and record capture."""
+
+    def __init__(self, layer_index: int):
+        super().__init__()
+        self.layer_index = layer_index
+        self.controller = None
+        # optional heuristic override for HARD mode (baseline studies):
+        # ("relative", delta) — A3-style row-max relative threshold;
+        # ("topk", k)         — SpAtten-style top-k survivors per row
+        self.heuristic: tuple[str, float] | None = None
+        self.record_scores = False
+        self.record_qk = False
+        self.records: list[AttentionRecord] = []
+        self.stat_pruned = 0
+        self.stat_valid = 0
+
+    def clear_records(self) -> None:
+        self.records = []
+
+    def clear_stats(self) -> None:
+        self.stat_pruned = 0
+        self.stat_valid = 0
+
+    def gated_softmax(self, scores: Tensor,
+                      valid: np.ndarray | None = None,
+                      queries: np.ndarray | None = None,
+                      keys: np.ndarray | None = None) -> Tensor:
+        """Softmax over scores with the controller's pruning applied.
+
+        ``scores``: (B, H, Sq, Sk); ``valid``: (B, Sq, Sk) bool mask of
+        positions that exist (padding / causality).
+        """
+        controller = self.controller
+        mode = controller.mode if controller is not None else PruningMode.OFF
+        valid4 = None if valid is None else valid[:, None]
+
+        if mode is PruningMode.SOFT:
+            threshold = controller.threshold(self.layer_index)
+            logits = scores + log_soft_threshold(
+                scores, threshold, controller.soft_config)
+            if valid4 is not None:
+                logits = F.where(valid4, logits, NEG_INF)
+            # L0 terms and sparsity counters feed the training
+            # objective; no-grad (evaluation) forwards must not
+            # accumulate them
+            if grad_enabled():
+                gate = soft_threshold(scores, threshold,
+                                      controller.soft_config)
+                if valid4 is not None:
+                    count = np.broadcast_to(valid4, scores.shape).sum()
+                    gate_mean = (gate * valid4).sum() * (1.0 / max(count, 1))
+                else:
+                    count = scores.size
+                    gate_mean = gate.mean()
+                controller.add_l0(gate_mean)
+                hard = scores.data < float(threshold.data)
+                if valid4 is not None:
+                    hard = hard & np.broadcast_to(valid4, scores.shape)
+                controller.count_soft(int(hard.sum()), int(count))
+            return F.softmax(logits)
+
+        if mode is PruningMode.HARD:
+            threshold = float(controller.threshold(self.layer_index).data)
+            data = scores.data
+            masked = data if valid4 is None else np.where(
+                valid4, data, -np.inf)
+            row_max = masked.max(axis=-1, keepdims=True)
+            if self.heuristic is not None:
+                kind, value = self.heuristic
+                if kind == "relative":
+                    pruned = data < (row_max - value)
+                elif kind == "topk":
+                    keep = min(int(value), data.shape[-1])
+                    order = np.argsort(
+                        np.argsort(-masked, axis=-1), axis=-1)
+                    pruned = order >= keep
+                else:
+                    raise ValueError(f"unknown heuristic {kind!r}")
+            else:
+                pruned = data < threshold
+            if valid4 is not None:
+                pruned &= np.broadcast_to(valid4, data.shape)
+            # the running-max register always survives: a row is never
+            # pruned empty, matching the accelerator's back end
+            pruned &= ~(masked == row_max)
+            self.stat_pruned += int(pruned.sum())
+            self.stat_valid += (int(np.broadcast_to(valid4, data.shape).sum())
+                                if valid4 is not None else data.size)
+            if self.record_scores:
+                self.records.append(AttentionRecord(
+                    layer_index=self.layer_index,
+                    scores=data.copy(),
+                    pruned_mask=pruned.copy(),
+                    threshold=threshold,
+                    valid=None if valid is None else valid.copy(),
+                    queries=queries.copy() if (
+                        self.record_qk and queries is not None) else None,
+                    keys=keys.copy() if (
+                        self.record_qk and keys is not None) else None,
+                ))
+            drop = pruned if valid4 is None else (
+                pruned | ~np.broadcast_to(valid4, data.shape))
+            logits = F.where(~drop, scores, NEG_INF)
+            return F.softmax(logits)
+
+        # OFF
+        if valid4 is not None:
+            scores = F.where(valid4, scores, NEG_INF)
+        return F.softmax(scores)
+
+
+class PrunedSelfAttention(AttentionBase):
+    """Multi-head self-attention with learned runtime pruning."""
+
+    def __init__(self, dim: int, num_heads: int, layer_index: int,
+                 rng: np.random.Generator):
+        super().__init__(layer_index)
+        if dim % num_heads:
+            raise ValueError("num_heads must divide dim")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.wq = Linear(dim, dim, rng)
+        self.wk = Linear(dim, dim, rng)
+        self.wv = Linear(dim, dim, rng)
+        self.wo = Linear(dim, dim, rng)
+
+    def _split(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        return x.reshape(batch, seq, self.num_heads,
+                         self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor, valid: np.ndarray | None = None,
+                kv_cache: dict | None = None) -> Tensor:
+        """``x``: (B, S, D).  ``valid``: (B, Sq, Sk) position mask.
+
+        ``kv_cache`` (decode path): dict with optional "k"/"v" arrays of
+        shape (B, H, S_hist, Dh); the new keys/values are appended and
+        attention runs with S_q = x's sequence length against the full
+        history.
+        """
+        batch, seq, _ = x.shape
+        q = self._split(self.wq(x), batch, seq)
+        k = self._split(self.wk(x), batch, seq)
+        v = self._split(self.wv(x), batch, seq)
+
+        if kv_cache is not None:
+            from ..tensor import concatenate
+            if "k" in kv_cache:
+                k = concatenate([kv_cache["k"], k], axis=2)
+                v = concatenate([kv_cache["v"], v], axis=2)
+            kv_cache["k"], kv_cache["v"] = k, v
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.swapaxes(-1, -2)) * scale
+        probs = self.gated_softmax(scores, valid,
+                                   queries=q.data * scale, keys=k.data)
+        out = probs @ v
+        out = out.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
+        return self.wo(out)

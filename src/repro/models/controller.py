@@ -1,0 +1,92 @@
+"""Per-layer learned threshold controller.
+
+The paper learns one pruning threshold per attention layer ("each
+attention layer identifies a distinct context").  The controller owns
+those Parameters, the pruning mode, and the bookkeeping that the
+fine-tuning loop reads back (surrogate-L0 terms, sparsity counters).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.pruning import PruningMode
+from ..core.soft_threshold import SoftThresholdConfig, SurrogateL0Config
+from ..nn import Parameter
+from ..tensor import Tensor
+
+
+class ThresholdController:
+    def __init__(self, num_layers: int,
+                 l0_config: SurrogateL0Config | None = None,
+                 soft_config: SoftThresholdConfig | None = None):
+        self.thresholds = [Parameter(np.array(0.0))
+                           for _ in range(num_layers)]
+        self.l0_config = l0_config or SurrogateL0Config()
+        self.soft_config = soft_config or SoftThresholdConfig()
+        self.mode = PruningMode.OFF
+        self._l0_terms: list[Tensor] = []
+        self._soft_pruned = 0
+        self._soft_valid = 0
+
+    # -- mode switching -------------------------------------------------
+    def off(self) -> "ThresholdController":
+        self.mode = PruningMode.OFF
+        return self
+
+    def soft(self) -> "ThresholdController":
+        self.mode = PruningMode.SOFT
+        return self
+
+    def hard(self) -> "ThresholdController":
+        self.mode = PruningMode.HARD
+        return self
+
+    def set_mode(self, mode: PruningMode) -> "ThresholdController":
+        self.mode = mode
+        return self
+
+    # -- parameters -----------------------------------------------------
+    def parameters(self) -> list[Parameter]:
+        return list(self.thresholds)
+
+    def threshold(self, layer_index: int) -> Parameter:
+        return self.thresholds[layer_index]
+
+    def threshold_values(self) -> np.ndarray:
+        return np.array([float(p.data) for p in self.thresholds])
+
+    def set_threshold_values(self, values) -> None:
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        if values.size != len(self.thresholds):
+            raise ValueError(
+                f"expected {len(self.thresholds)} thresholds, "
+                f"got {values.size}")
+        for parameter, value in zip(self.thresholds, values):
+            parameter.data = np.array(float(value))
+
+    # -- fine-tune bookkeeping -----------------------------------------
+    def add_l0(self, term: Tensor) -> None:
+        self._l0_terms.append(term)
+
+    def pop_l0(self) -> Tensor | None:
+        """Mean surrogate-L0 across the layers of the last forward."""
+        if not self._l0_terms:
+            return None
+        total = self._l0_terms[0]
+        for term in self._l0_terms[1:]:
+            total = total + term
+        out = total * (1.0 / len(self._l0_terms))
+        self._l0_terms = []
+        return out
+
+    def count_soft(self, pruned: int, valid: int) -> None:
+        self._soft_pruned += pruned
+        self._soft_valid += valid
+
+    def pop_soft_sparsity(self) -> float:
+        rate = (self._soft_pruned / self._soft_valid
+                if self._soft_valid else 0.0)
+        self._soft_pruned = 0
+        self._soft_valid = 0
+        return rate

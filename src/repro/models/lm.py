@@ -1,0 +1,123 @@
+"""Causal transformer LM (GPT-2 stand-in) with a KV-cache decode path."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.soft_threshold import SoftThresholdConfig, SurrogateL0Config
+from ..nn import Embedding, LayerNorm, Linear, Module, Parameter
+from ..tensor import Tensor, no_grad
+from ..tensor import functional as F
+from .controller import ThresholdController
+from .transformer import TransformerBlock
+
+
+@dataclass(frozen=True)
+class LMConfig:
+    vocab_size: int
+    max_seq_len: int
+    dim: int
+    num_heads: int
+    num_layers: int
+    seed: int = 0
+    ffn_mult: int = 2
+
+
+class TransformerLM(Module):
+    metric_name = "perplexity"
+
+    def __init__(self, config: LMConfig):
+        super().__init__()
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.embed = Embedding(config.vocab_size, config.dim, rng)
+        self.pos = Parameter(
+            rng.standard_normal((config.max_seq_len, config.dim)) * 0.02)
+        self.blocks = [TransformerBlock(config.dim, config.num_heads,
+                                        config.ffn_mult, i, rng)
+                       for i in range(config.num_layers)]
+        self.ln_out = LayerNorm(config.dim)
+        self.head = Linear(config.dim, config.vocab_size, rng)
+        self._controller: ThresholdController | None = None
+
+    def attention_modules(self):
+        return [block.attention for block in self.blocks]
+
+    def make_controller(self, l0_config: SurrogateL0Config | None = None,
+                        soft_config: SoftThresholdConfig | None = None
+                        ) -> ThresholdController:
+        controller = ThresholdController(len(self.blocks), l0_config,
+                                         soft_config)
+        for module in self.attention_modules():
+            module.controller = controller
+        self._controller = controller
+        return controller
+
+    def logits(self, tokens: np.ndarray) -> Tensor:
+        tokens = np.asarray(tokens)
+        batch, seq = tokens.shape
+        causal = np.tril(np.ones((seq, seq), dtype=bool))
+        valid = np.broadcast_to(causal, (batch, seq, seq))
+        x = self.embed(tokens) + self.pos[:seq]
+        for block in self.blocks:
+            x = block(x, valid)
+        return self.head(self.ln_out(x))
+
+    def loss(self, batch) -> Tensor:
+        tokens = np.asarray(batch.inputs)
+        logits = self.logits(tokens[:, :-1])
+        return F.cross_entropy(logits, tokens[:, 1:])
+
+    def metrics(self, batch) -> tuple[float, int]:
+        """Returns (total negative log likelihood, token count)."""
+        tokens = np.asarray(batch.inputs)
+        with no_grad():
+            logits = self.logits(tokens[:, :-1])
+            nll = F.cross_entropy(logits, tokens[:, 1:])
+        count = tokens[:, 1:].size
+        return float(nll.data) * count, count
+
+    @staticmethod
+    def finish_metric(total: float, count: int) -> float:
+        return float(np.exp(total / max(count, 1)))
+
+    # -- decode ---------------------------------------------------------
+    def generate(self, prompt: np.ndarray, max_new_tokens: int,
+                 greedy: bool = True,
+                 rng: np.random.Generator | None = None) -> np.ndarray:
+        """Autoregressive decode with per-layer KV caches: each step
+        computes exactly one new query row per sequence (S_q = 1)
+        against the cached key/value history — the deployment access
+        pattern the accelerator sees."""
+        tokens = np.asarray(prompt, dtype=np.int64)
+        caches = [{} for _ in self.blocks]
+        with no_grad():
+            # prefill: run the prompt once, filling the caches
+            x = self.embed(tokens) + self.pos[:tokens.shape[1]]
+            batch, seq = tokens.shape
+            causal = np.broadcast_to(
+                np.tril(np.ones((seq, seq), dtype=bool)),
+                (batch, seq, seq))
+            for block, cache in zip(self.blocks, caches):
+                x = block(x, causal, kv_cache=cache)
+            last = self.head(self.ln_out(x))[:, -1]
+            for step in range(max_new_tokens):
+                if greedy or rng is None:
+                    next_token = last.data.argmax(axis=-1)
+                else:
+                    probs = F.softmax(last).data
+                    next_token = np.array(
+                        [rng.choice(len(p), p=p) for p in probs])
+                tokens = np.concatenate(
+                    [tokens, next_token[:, None]], axis=1)
+                if (step + 1 >= max_new_tokens
+                        or tokens.shape[1] >= self.config.max_seq_len):
+                    break   # no further sample needed: skip the forward
+                position = tokens.shape[1] - 1
+                x = self.embed(tokens[:, -1:]) + self.pos[position:position + 1]
+                for block, cache in zip(self.blocks, caches):
+                    x = block(x, None, kv_cache=cache)
+                last = self.head(self.ln_out(x))[:, -1]
+        return tokens

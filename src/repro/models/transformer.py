@@ -1,0 +1,132 @@
+"""Transformer encoder classifier (BERT/ViT/ALBERT stand-ins)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.soft_threshold import SoftThresholdConfig, SurrogateL0Config
+from ..nn import Embedding, LayerNorm, Linear, Module, Parameter
+from ..tensor import Tensor
+from ..tensor import functional as F
+from .attention import PrunedSelfAttention
+from .controller import ThresholdController
+
+
+@dataclass(frozen=True)
+class ClassifierConfig:
+    vocab_size: int | None          # None => continuous patch inputs
+    max_seq_len: int
+    dim: int
+    num_heads: int
+    num_layers: int
+    num_classes: int
+    seed: int = 0
+    ffn_mult: int = 2
+    input_dim: int | None = None    # patch feature size (vocab_size None)
+    head: str = "cls"               # "cls" (pooled) or "span" (per-token)
+
+
+class TransformerBlock(Module):
+    def __init__(self, dim: int, num_heads: int, ffn_mult: int,
+                 layer_index: int, rng: np.random.Generator):
+        super().__init__()
+        self.ln1 = LayerNorm(dim)
+        self.attention = PrunedSelfAttention(dim, num_heads, layer_index, rng)
+        self.ln2 = LayerNorm(dim)
+        self.ffn1 = Linear(dim, dim * ffn_mult, rng)
+        self.ffn2 = Linear(dim * ffn_mult, dim, rng)
+
+    def forward(self, x: Tensor, valid: np.ndarray | None = None,
+                kv_cache: dict | None = None) -> Tensor:
+        x = x + self.attention(self.ln1(x), valid, kv_cache)
+        return x + self.ffn2(F.gelu(self.ffn1(self.ln2(x))))
+
+
+class TransformerClassifier(Module):
+    """Encoder over tokens (or patches) with a classification head.
+
+    ``head="cls"`` mean-pools valid positions; ``head="span"`` emits one
+    logit per token position (SQuAD-style answer-start prediction).
+    """
+
+    metric_name = "accuracy"
+
+    def __init__(self, config: ClassifierConfig):
+        super().__init__()
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        if config.vocab_size is not None:
+            self.embed = Embedding(config.vocab_size, config.dim, rng)
+        else:
+            if config.input_dim is None:
+                raise ValueError("patch models need input_dim")
+            self.embed = Linear(config.input_dim, config.dim, rng)
+        self.pos = Parameter(
+            rng.standard_normal((config.max_seq_len, config.dim)) * 0.02)
+        self.blocks = [TransformerBlock(config.dim, config.num_heads,
+                                        config.ffn_mult, i, rng)
+                       for i in range(config.num_layers)]
+        self.ln_out = LayerNorm(config.dim)
+        out_dim = 1 if config.head == "span" else config.num_classes
+        self.head = Linear(config.dim, out_dim, rng)
+        self._controller: ThresholdController | None = None
+
+    # -- pruning plumbing ----------------------------------------------
+    def attention_modules(self) -> list[PrunedSelfAttention]:
+        return [block.attention for block in self.blocks]
+
+    def make_controller(self, l0_config: SurrogateL0Config | None = None,
+                        soft_config: SoftThresholdConfig | None = None
+                        ) -> ThresholdController:
+        controller = ThresholdController(len(self.blocks), l0_config,
+                                         soft_config)
+        for module in self.attention_modules():
+            module.controller = controller
+        self._controller = controller
+        return controller
+
+    # -- forward --------------------------------------------------------
+    def encode(self, inputs: np.ndarray,
+               mask: np.ndarray | None = None) -> Tensor:
+        inputs = np.asarray(inputs)
+        seq = inputs.shape[1]
+        if self.config.vocab_size is None:
+            from ..tensor import Tensor
+            x = self.embed(Tensor(inputs)) + self.pos[:seq]
+        else:
+            x = self.embed(inputs) + self.pos[:seq]
+        valid = None
+        if mask is not None:
+            valid = (mask[:, None, :] & mask[:, :, None])
+        for block in self.blocks:
+            x = block(x, valid)
+        return self.ln_out(x)
+
+    def logits(self, inputs: np.ndarray,
+               mask: np.ndarray | None = None) -> Tensor:
+        x = self.encode(inputs, mask)
+        if self.config.head == "span":
+            out = self.head(x)                      # (B, S, 1)
+            return out.reshape(out.shape[0], out.shape[1])
+        if mask is not None:
+            weights = mask[:, :, None] / mask.sum(
+                axis=1, keepdims=True)[:, :, None]
+            pooled = (x * weights).sum(axis=1)
+        else:
+            pooled = x.mean(axis=1)
+        return self.head(pooled)
+
+    # -- task interface -------------------------------------------------
+    def loss(self, batch) -> Tensor:
+        return F.cross_entropy(self.logits(batch.inputs, batch.mask),
+                               batch.labels)
+
+    def metrics(self, batch) -> tuple[int, int]:
+        from ..tensor import no_grad
+        with no_grad():
+            logits = self.logits(batch.inputs, batch.mask)
+        predictions = logits.data.argmax(axis=-1)
+        correct = int((predictions == batch.labels).sum())
+        return correct, len(batch.labels)

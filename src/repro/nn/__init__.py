@@ -1,0 +1,8 @@
+"""Modules, layers and gradient utilities."""
+
+from .functional_utils import clip_grad_norm
+from .layers import Embedding, LayerNorm, Linear
+from .module import Module, Parameter
+
+__all__ = ["Module", "Parameter", "Linear", "Embedding", "LayerNorm",
+           "clip_grad_norm"]

@@ -1,0 +1,24 @@
+"""Gradient utilities shared by nn and optim."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def clip_grad_norm(parameters, max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is <= max_norm.
+
+    Returns the pre-clip norm.
+    """
+    with_grads = [p for p in parameters if p.grad is not None]
+    if not with_grads:
+        return 0.0
+    total = float(np.sqrt(sum(float((p.grad * p.grad).sum())
+                              for p in with_grads)))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        # fresh arrays (not in-place): parameters may share a gradient
+        # buffer when one backward fans out to several tensors
+        for p in with_grads:
+            p.grad = p.grad * scale
+    return total

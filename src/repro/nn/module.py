@@ -1,0 +1,83 @@
+"""Module / Parameter machinery (torch-like, numpy-backed)."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A Tensor that is always on the tape and owned by a Module."""
+
+    def __init__(self, data):
+        super().__init__(np.asarray(data, dtype=np.float64),
+                         requires_grad=True)
+
+
+class Module:
+    """Minimal module tree: parameter discovery + train/eval mode."""
+
+    def __init__(self):
+        self.training = True
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def parameters(self) -> list[Parameter]:
+        seen: set[int] = set()
+        unique = []
+        for _, parameter in self.named_parameters():
+            if id(parameter) not in seen:   # tied weights appear once
+                seen.add(id(parameter))
+                unique.append(parameter)
+        return unique
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, value in vars(self).items():
+            path = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield path, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(f"{path}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(f"{path}.{i}.")
+                    elif isinstance(item, Parameter):
+                        yield f"{path}.{i}", item
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    def train(self) -> "Module":
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for module in self.modules():
+            module.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: parameter.data.copy()
+                for name, parameter in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        for name, value in state.items():
+            own[name].data = np.asarray(value, dtype=np.float64)

@@ -1,0 +1,6 @@
+"""Optimizers and gradient utilities."""
+
+from ..nn.functional_utils import clip_grad_norm
+from .adam import Adam
+
+__all__ = ["Adam", "clip_grad_norm"]

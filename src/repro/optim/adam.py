@@ -1,0 +1,60 @@
+"""Adam with optional parameter groups (weights vs thresholds)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Adam:
+    """Adam (Kingma & Ba).  Accepts a flat param list or groups:
+
+    ``Adam(params, lr=1e-3)`` or
+    ``Adam([{"params": ws, "lr": 5e-4}, {"params": ths, "lr": 1e-2}])``.
+    """
+
+    def __init__(self, params, lr: float = 1e-3, betas=(0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        params = list(params)
+        if params and isinstance(params[0], dict):
+            self.groups = [dict(g) for g in params]
+        else:
+            self.groups = [{"params": params}]
+        for group in self.groups:
+            group.setdefault("lr", lr)
+            group.setdefault("betas", betas)
+            group.setdefault("eps", eps)
+            group.setdefault("weight_decay", weight_decay)
+            group["params"] = list(group["params"])
+        self.state: dict[int, dict] = {}
+        self.t = 0
+
+    def all_params(self) -> list:
+        return [p for group in self.groups for p in group["params"]]
+
+    def zero_grad(self) -> None:
+        for p in self.all_params():
+            p.zero_grad()
+
+    def step(self) -> None:
+        self.t += 1
+        for group in self.groups:
+            beta1, beta2 = group["betas"]
+            lr, eps = group["lr"], group["eps"]
+            decay = group["weight_decay"]
+            bias1 = 1.0 - beta1 ** self.t
+            bias2 = 1.0 - beta2 ** self.t
+            for p in group["params"]:
+                if p.grad is None:
+                    continue
+                grad = p.grad
+                if decay:
+                    grad = grad + decay * p.data
+                state = self.state.setdefault(id(p), {
+                    "m": np.zeros_like(p.data),
+                    "v": np.zeros_like(p.data),
+                })
+                state["m"] = beta1 * state["m"] + (1 - beta1) * grad
+                state["v"] = beta2 * state["v"] + (1 - beta2) * grad * grad
+                m_hat = state["m"] / bias1
+                v_hat = state["v"] / bias2
+                p.data = p.data - lr * m_hat / (np.sqrt(v_hat) + eps)

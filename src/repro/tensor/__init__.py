@@ -1,0 +1,7 @@
+"""Numpy autograd tensor and functional ops."""
+
+from . import functional
+from .tensor import Tensor, concatenate, grad_enabled, no_grad, stack
+
+__all__ = ["Tensor", "functional", "no_grad", "grad_enabled", "stack",
+           "concatenate"]

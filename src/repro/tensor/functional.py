@@ -1,0 +1,143 @@
+"""Fused functional ops with hand-written backward passes.
+
+These are the hot ops of the transformer forward/backward; each one is
+a handful of whole-array numpy expressions rather than a chain of
+primitive autograd nodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, stable_sigmoid
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad):
+        dot = (grad * out).sum(axis=axis, keepdims=True)
+        x._accumulate(out * (grad - dot))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_z
+
+    def backward(grad):
+        soft = np.exp(out)
+        x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray,
+                  ignore_index: int | None = None) -> Tensor:
+    """Mean negative log-likelihood over the last axis of ``logits``.
+
+    ``logits``: (..., C); ``labels``: (...) integer classes.
+    """
+    labels = np.asarray(labels)
+    logp = log_softmax(logits, axis=-1)
+    flat = logp.reshape((-1, logits.shape[-1]))
+    flat_labels = labels.reshape(-1)
+    if ignore_index is not None:
+        keep = flat_labels != ignore_index
+        index = np.nonzero(keep)[0]
+        picked = flat[index, flat_labels[index]]
+        count = max(int(keep.sum()), 1)
+    else:
+        picked = flat[np.arange(flat_labels.size), flat_labels]
+        count = flat_labels.size
+    return -picked.sum() * (1.0 / count)
+
+
+def gelu(x: Tensor) -> Tensor:
+    # tanh approximation (Hendrycks & Gimpel)
+    c = np.sqrt(2.0 / np.pi)
+    u = c * (x.data + 0.044715 * x.data ** 3)
+    t = np.tanh(u)
+    out = 0.5 * x.data * (1.0 + t)
+
+    def backward(grad):
+        du = c * (1.0 + 3 * 0.044715 * x.data ** 2)
+        dt = (1.0 - t * t) * du
+        x._accumulate(grad * (0.5 * (1.0 + t) + 0.5 * x.data * dt))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def embedding(table: Tensor, indices: np.ndarray) -> Tensor:
+    """Row lookup: (V, D) table gathered with integer ``indices``."""
+    indices = np.asarray(indices)
+    out = table.data[indices]
+
+    def backward(grad):
+        full = np.zeros_like(table.data)
+        np.add.at(full, indices.reshape(-1),
+                  grad.reshape(-1, table.data.shape[-1]))
+        table._accumulate(full)
+
+    return Tensor._make(out, (table,), backward)
+
+
+def layer_norm(x: Tensor, gain: Tensor, bias: Tensor,
+               eps: float = 1e-5) -> Tensor:
+    mu = x.data.mean(axis=-1, keepdims=True)
+    var = x.data.var(axis=-1, keepdims=True)
+    inv = 1.0 / np.sqrt(var + eps)
+    norm = (x.data - mu) * inv
+    out = norm * gain.data + bias.data
+
+    def backward(grad):
+        axes = tuple(range(grad.ndim - 1))
+        if gain.requires_grad:
+            gain._accumulate((grad * norm).sum(axis=axes))
+        if bias.requires_grad:
+            bias._accumulate(grad.sum(axis=axes))
+        if x.requires_grad:
+            g = grad * gain.data
+            n = x.data.shape[-1]
+            gm = g.mean(axis=-1, keepdims=True)
+            gnm = (g * norm).mean(axis=-1, keepdims=True)
+            x._accumulate(inv * (g - gm - norm * gnm))
+
+    return Tensor._make(out, (x, gain, bias), backward)
+
+
+def where(condition: np.ndarray, a: Tensor, b) -> Tensor:
+    """Select from ``a`` where ``condition`` else constant/tensor ``b``."""
+    condition = np.asarray(condition)
+    b_tensor = b if isinstance(b, Tensor) else Tensor(np.asarray(b))
+    out = np.where(condition, a.data, b_tensor.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(np.where(condition, grad, 0.0))
+        if b_tensor.requires_grad:
+            b_tensor._accumulate(np.where(condition, 0.0, grad))
+
+    return Tensor._make(out, (a, b_tensor), backward)
+
+
+def softplus(x: Tensor) -> Tensor:
+    # numerically-stable log(1 + exp(x))
+    out = np.logaddexp(0.0, x.data)
+
+    def backward(grad):
+        x._accumulate(grad * stable_sigmoid(x.data))
+
+    return Tensor._make(out, (x,), backward)

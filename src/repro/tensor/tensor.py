@@ -1,0 +1,400 @@
+"""Reverse-mode autograd over numpy arrays.
+
+Design goals, in order: (1) correctness of gradients, (2) throughput —
+every op is a whole-array numpy expression, graph bookkeeping is O(1)
+per op, and a global no-grad mode lets inference skip the tape
+entirely.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Disable graph construction (inference / measurement paths)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def grad_enabled() -> bool:
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (reverse of numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # sum out prepended axes
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # sum axes that were broadcast from 1
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        return value
+    return np.asarray(value, dtype=np.float64)
+
+
+def stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """1 / (1 + exp(-x)) without overflow warnings for large |x|."""
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+class Tensor:
+    """A numpy array plus an optional place on the autograd tape."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __array_priority__ = 100  # numpy defers binary ops to Tensor
+
+    def __init__(self, data, requires_grad: bool = False):
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = requires_grad
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Sequence["Tensor"] = ()
+
+    # ------------------------------------------------------------------
+    # graph plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(data: np.ndarray, parents: Sequence["Tensor"],
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        out = Tensor(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = tuple(p for p in parents if p.requires_grad)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(grad, self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy() if grad.base is not None else grad
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        if grad is None:
+            grad = np.ones_like(self.data)
+        # topological order via iterative DFS
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in seen:
+                    stack.append((parent, False))
+        self._accumulate(np.asarray(grad, dtype=self.data.dtype))
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data)
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{flag})"
+
+    def __float__(self) -> float:
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data + other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other.requires_grad:
+                other._accumulate(grad)
+
+        return Tensor._make(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        def backward(grad):
+            self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other):
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data - other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other.requires_grad:
+                other._accumulate(-grad)
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __rsub__(self, other):
+        return Tensor(other) - self
+
+    def __mul__(self, other):
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data * other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * other.data)
+            if other.requires_grad:
+                other._accumulate(grad * self.data)
+
+        return Tensor._make(data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data / other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad / other.data)
+            if other.requires_grad:
+                other._accumulate(-grad * data / other.data)
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __rtruediv__(self, other):
+        return Tensor(other) / self
+
+    def __pow__(self, exponent: float):
+        data = self.data ** exponent
+
+        def backward(grad):
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(data, (self,), backward)
+
+    def __matmul__(self, other):
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data @ other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                g = grad @ np.swapaxes(other.data, -1, -2)
+                self._accumulate(g)
+            if other.requires_grad:
+                g = np.swapaxes(self.data, -1, -2) @ grad
+                other._accumulate(g)
+
+        return Tensor._make(data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+        data = self.data.reshape(shape)
+
+        def backward(grad):
+            self._accumulate(grad.reshape(original))
+
+        return Tensor._make(data, (self,), backward)
+
+    def transpose(self, *axes):
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        inverse = np.argsort(axes)
+        data = self.data.transpose(axes)
+
+        def backward(grad):
+            self._accumulate(grad.transpose(inverse))
+
+        return Tensor._make(data, (self,), backward)
+
+    def swapaxes(self, a: int, b: int):
+        data = np.swapaxes(self.data, a, b)
+
+        def backward(grad):
+            self._accumulate(np.swapaxes(grad, a, b))
+
+        return Tensor._make(data, (self,), backward)
+
+    def __getitem__(self, index):
+        data = self.data[index]
+
+        def backward(grad):
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # reductions & elementwise
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False):
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            self._accumulate(np.broadcast_to(g, self.data.shape))
+
+        return Tensor._make(data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False):
+        count = self.data.size if axis is None else np.prod(
+            [self.data.shape[a] for a in np.atleast_1d(axis)])
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False):
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            g = grad
+            ref = data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+                ref = np.expand_dims(ref, axis)
+            mask = (self.data == ref)
+            mask = mask / mask.sum(axis=axis, keepdims=True)
+            self._accumulate(mask * g)
+
+        return Tensor._make(data, (self,), backward)
+
+    def exp(self):
+        data = np.exp(self.data)
+
+        def backward(grad):
+            self._accumulate(grad * data)
+
+        return Tensor._make(data, (self,), backward)
+
+    def log(self):
+        data = np.log(self.data)
+
+        def backward(grad):
+            self._accumulate(grad / self.data)
+
+        return Tensor._make(data, (self,), backward)
+
+    def tanh(self):
+        data = np.tanh(self.data)
+
+        def backward(grad):
+            self._accumulate(grad * (1.0 - data * data))
+
+        return Tensor._make(data, (self,), backward)
+
+    def sigmoid(self):
+        data = stable_sigmoid(self.data)
+
+        def backward(grad):
+            self._accumulate(grad * data * (1.0 - data))
+
+        return Tensor._make(data, (self,), backward)
+
+    def relu(self):
+        data = np.maximum(self.data, 0.0)
+
+        def backward(grad):
+            self._accumulate(grad * (self.data > 0))
+
+        return Tensor._make(data, (self,), backward)
+
+    def sqrt(self):
+        data = np.sqrt(self.data)
+
+        def backward(grad):
+            self._accumulate(grad * 0.5 / data)
+
+        return Tensor._make(data, (self,), backward)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    tensors = list(tensors)
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad):
+        pieces = np.split(grad, len(tensors), axis=axis)
+        for tensor, piece in zip(tensors, pieces):
+            if tensor.requires_grad:
+                tensor._accumulate(np.squeeze(piece, axis=axis))
+
+    return Tensor._make(data, tensors, backward)
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    tensors = list(tensors)
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, stop)
+                tensor._accumulate(grad[tuple(index)])
+
+    return Tensor._make(data, tensors, backward)

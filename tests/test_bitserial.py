@@ -1,0 +1,97 @@
+"""Bit-serial kernel unit tests: the exactness invariant and the
+scalar/vectorized agreement (mirrors examples/bitserial_walkthrough.py)."""
+
+import numpy as np
+import pytest
+
+from repro.hw.bitserial import (bitserial_cycles_matrix,
+                                bitserial_dot_product, serial_cycle_count)
+
+
+def test_serial_cycle_count():
+    assert serial_cycle_count(12, 2) == 6
+    assert serial_cycle_count(12, 12) == 1
+    assert serial_cycle_count(4, 1) == 4
+    assert serial_cycle_count(11, 2) == 6
+
+
+def test_early_termination_never_disagrees_with_exact():
+    """Property: with the conservative margin, the early-terminated
+    prune decision equals the exact comparison on every sample."""
+    rng = np.random.default_rng(7)
+    for _ in range(500):
+        q = rng.integers(-2047, 2048, 12)
+        k = rng.integers(-1023, 1024, 12)
+        threshold = float(rng.integers(-20_000, 40_000))
+        trace = bitserial_dot_product(q, k, threshold, magnitude_bits=10,
+                                      group=2)
+        assert trace.pruned == (trace.exact_value < threshold)
+        if trace.early_terminated:
+            assert trace.exact_value < threshold
+            assert trace.cycles < serial_cycle_count(11, 2)
+
+
+def test_matrix_kernel_matches_scalar_trace():
+    rng = np.random.default_rng(3)
+    q = rng.integers(-2047, 2048, (12, 16))
+    k = rng.integers(-2047, 2048, (10, 16))
+    threshold = 50_000.0
+    cycles, pruned, scores = bitserial_cycles_matrix(q, k, threshold, 11, 2)
+    np.testing.assert_array_equal(scores, (q @ k.T).astype(np.float64))
+    for i in range(q.shape[0]):
+        for j in range(k.shape[0]):
+            trace = bitserial_dot_product(q[i], k[j], threshold,
+                                          magnitude_bits=11, group=2)
+            assert cycles[i, j] == trace.cycles, (i, j)
+            assert pruned[i, j] == trace.pruned, (i, j)
+
+
+def test_matrix_kernel_prune_decision_is_exact():
+    rng = np.random.default_rng(11)
+    q = rng.integers(-2047, 2048, (32, 32))
+    k = rng.integers(-2047, 2048, (32, 32))
+    threshold = 80_000.0
+    _, pruned, scores = bitserial_cycles_matrix(q, k, threshold, 11, 2)
+    np.testing.assert_array_equal(pruned, (q @ k.T) < threshold)
+
+
+def test_margin_scale_trades_cycles_for_wrong_prunes():
+    rng = np.random.default_rng(5)
+    q = rng.integers(-2047, 2048, (24, 32))
+    k = rng.integers(-2047, 2048, (24, 32))
+    threshold = 60_000.0
+    exact = (q @ k.T) < threshold
+    totals = {}
+    wrong = {}
+    for scale in (1.0, 0.5, 0.0):
+        cycles, pruned, _ = bitserial_cycles_matrix(
+            q, k, threshold, 11, 2, margin_scale=scale)
+        totals[scale] = int(cycles.sum())
+        wrong[scale] = int((pruned & ~exact).sum())
+    assert wrong[1.0] == 0
+    assert totals[0.0] <= totals[0.5] <= totals[1.0]
+    assert wrong[0.0] >= wrong[0.5] >= wrong[1.0]
+
+
+def test_valid_mask_zeroes_invalid_cycles():
+    rng = np.random.default_rng(9)
+    q = rng.integers(-100, 100, (4, 8))
+    k = rng.integers(-100, 100, (6, 8))
+    valid = np.zeros((4, 6), dtype=bool)
+    valid[:2, :3] = True
+    cycles, _, _ = bitserial_cycles_matrix(q, k, 0.0, 6, 2, valid=valid)
+    assert (cycles[~valid] == 0).all()
+    assert (cycles[valid] > 0).all()
+
+
+def test_paper_worked_example():
+    trace = bitserial_dot_product(
+        np.array([9, -5, 7, -2]), np.array([1, -7, -4, 2]), 40,
+        magnitude_bits=3, group=1)
+    assert trace.cycles == 2
+    assert trace.early_terminated and trace.pruned
+    assert trace.exact_value == 12
+    assert trace.history[0].partial_sum == 0.0
+    assert trace.history[0].margin == pytest.approx(98.0)
+    assert trace.history[1].partial_sum == -8.0
+    assert trace.history[1].margin == 42.0

@@ -1,0 +1,54 @@
+"""Soft-vs-hard threshold agreement: the differentiable gate used for
+fine-tuning must agree with the deployed hard pruning."""
+
+import numpy as np
+
+from repro.core import PruningMode, SoftThresholdConfig, soft_threshold
+from repro.core.finetune import evaluate_accuracy
+from repro.data import batches
+from repro.eval.runner import run_workload
+from repro.eval.workloads import TINY, get_workload
+from repro.nn import Parameter
+from repro.tensor import Tensor
+
+
+def test_gate_crosses_half_exactly_at_threshold():
+    """sigmoid(s(x - Th)) > 0.5 iff x > Th, for any sharpness."""
+    rng = np.random.default_rng(0)
+    scores = Tensor(rng.standard_normal(256) * 2.0)
+    for sharpness in (1.0, 10.0, 100.0):
+        threshold = Parameter(np.array(0.3))
+        gate = soft_threshold(scores, threshold,
+                              SoftThresholdConfig(sharpness=sharpness))
+        np.testing.assert_array_equal(gate.data > 0.5,
+                                      scores.data > 0.3)
+
+
+def test_sharp_gate_approaches_hard_mask():
+    rng = np.random.default_rng(1)
+    scores = Tensor(rng.standard_normal(512))
+    threshold = Parameter(np.array(0.0))
+    gate = soft_threshold(scores, threshold,
+                          SoftThresholdConfig(sharpness=1000.0))
+    hard = (scores.data >= 0.0).astype(float)
+    # away from the (measure-zero) transition band they coincide
+    off_band = np.abs(scores.data) > 0.01
+    np.testing.assert_allclose(gate.data[off_band], hard[off_band],
+                               atol=1e-4)
+
+
+def test_soft_and_hard_mode_agree_on_trained_model():
+    """After pruning-aware fine-tuning, the metric under SOFT gating
+    matches the deployed HARD metric closely."""
+    result = run_workload(get_workload("bert_base_glue/G-SST"), TINY)
+    model, controller, spec = result.model, result.controller, result.spec
+    data = spec.make_data(TINY)
+    hard = evaluate_accuracy(model, controller,
+                             batches(data.test, TINY.batch_size),
+                             PruningMode.HARD)
+    soft = evaluate_accuracy(model, controller,
+                             batches(data.test, TINY.batch_size),
+                             PruningMode.SOFT)
+    controller.hard()
+    assert abs(hard - soft) <= 0.1
+    assert hard == result.pruned_metric

@@ -1,0 +1,90 @@
+"""Autograd correctness: analytic vs numeric gradients for the ops the
+model zoo leans on."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, no_grad
+from repro.tensor import functional as F
+
+
+def numeric_grad(fn, array, index, eps=1e-6):
+    bumped = array.copy()
+    bumped[index] += eps
+    return (fn(bumped) - fn(array)) / eps
+
+
+@pytest.mark.parametrize("op", ["matmul", "softmax", "layer_norm", "gelu",
+                                "log_softmax", "softplus"])
+def test_gradients_match_numeric(op):
+    rng = np.random.default_rng(42)
+    x = rng.standard_normal((3, 5))
+
+    def forward(array):
+        t = Tensor(array, requires_grad=True)
+        if op == "matmul":
+            out = (t @ w).sum()
+        elif op == "softmax":
+            out = (F.softmax(t) * weights).sum()
+        elif op == "log_softmax":
+            out = (F.log_softmax(t) * weights).sum()
+        elif op == "layer_norm":
+            out = (F.layer_norm(t, gain, bias) * weights).sum()
+        elif op == "gelu":
+            out = (F.gelu(t) * weights).sum()
+        elif op == "softplus":
+            out = (F.softplus(t) * weights).sum()
+        return t, out
+
+    w = Tensor(np.random.default_rng(7).standard_normal((5, 2)))
+    weights = Tensor(np.random.default_rng(1).standard_normal((3, 5)))
+    gain = Tensor(np.ones(5))
+    bias = Tensor(np.zeros(5))
+
+    t, out = forward(x)
+    out.backward()
+    analytic = t.grad
+
+    for index in [(0, 0), (1, 3), (2, 4)]:
+        num = numeric_grad(lambda a: float(forward(a)[1].data), x, index)
+        assert analytic[index] == pytest.approx(num, abs=1e-4), (op, index)
+
+
+def test_cross_entropy_gradient():
+    rng = np.random.default_rng(0)
+    logits = rng.standard_normal((4, 3))
+    labels = np.array([0, 2, 1, 1])
+
+    def loss_of(array):
+        return float(F.cross_entropy(Tensor(array), labels).data)
+
+    t = Tensor(logits, requires_grad=True)
+    F.cross_entropy(t, labels).backward()
+    for index in [(0, 0), (2, 1), (3, 2)]:
+        assert t.grad[index] == pytest.approx(
+            numeric_grad(loss_of, logits, index), abs=1e-4)
+
+
+def test_broadcasting_unbroadcasts_gradients():
+    a = Tensor(np.ones((3, 4)), requires_grad=True)
+    b = Tensor(np.ones(4), requires_grad=True)
+    (a * b).sum().backward()
+    assert a.grad.shape == (3, 4)
+    assert b.grad.shape == (4,)
+    np.testing.assert_allclose(b.grad, 3.0)
+
+
+def test_embedding_accumulates_duplicate_indices():
+    table = Tensor(np.zeros((5, 2)), requires_grad=True)
+    out = F.embedding(table, np.array([1, 1, 3]))
+    out.sum().backward()
+    np.testing.assert_allclose(table.grad[1], [2.0, 2.0])
+    np.testing.assert_allclose(table.grad[3], [1.0, 1.0])
+
+
+def test_no_grad_skips_tape():
+    x = Tensor(np.ones(3), requires_grad=True)
+    with no_grad():
+        y = (x * 2).sum()
+    assert not y.requires_grad
+    assert y._backward is None
