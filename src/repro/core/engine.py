@@ -4,11 +4,23 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, is_dataclass
 
 import numpy as np
 
 from ..tensor import no_grad
+
+
+def _model_registry() -> dict:
+    """Model-class name -> (model class, config class), imported lazily
+    (models depend on core, so core cannot import them at module load)."""
+    from ..models import (ClassifierConfig, LMConfig, MemN2N, MemN2NConfig,
+                          TransformerClassifier, TransformerLM)
+    return {
+        "TransformerClassifier": (TransformerClassifier, ClassifierConfig),
+        "TransformerLM": (TransformerLM, LMConfig),
+        "MemN2N": (MemN2N, MemN2NConfig),
+    }
 
 
 @dataclass(frozen=True)
@@ -45,18 +57,54 @@ class PrunedInferenceEngine:
                 logits = self.model.logits(batch.inputs)
         return logits.data.argmax(axis=-1)
 
-    def save(self, directory: str) -> str:
+    def save(self, directory: str, extra: dict | None = None) -> str:
+        """Persist weights + thresholds + enough architecture metadata
+        that :meth:`from_directory` can rebuild the engine from scratch.
+        ``extra`` entries are merged into ``engine.json``."""
         os.makedirs(directory, exist_ok=True)
         state = self.model.state_dict()
         np.savez_compressed(os.path.join(directory, "weights.npz"), **state)
+        config = getattr(self.model, "config", None)
         meta = {
             "model_class": type(self.model).__name__,
+            "model_config": (asdict(config) if is_dataclass(config)
+                             else None),
             "thresholds": self.controller.threshold_values().tolist(),
             "soft_sharpness": self.controller.soft_config.sharpness,
+            "l0_weight": self.controller.l0_config.weight,
         }
+        if extra:
+            meta.update(extra)
         with open(os.path.join(directory, "engine.json"), "w") as fh:
             json.dump(meta, fh, indent=2)
         return directory
+
+    @classmethod
+    def from_directory(cls, directory: str) -> "PrunedInferenceEngine":
+        """Rebuild a saved engine with no pre-built model: reconstruct
+        the architecture from ``engine.json``'s recorded model config,
+        attach a fresh controller, then restore weights + thresholds."""
+        from .soft_threshold import SurrogateL0Config
+
+        with open(os.path.join(directory, "engine.json")) as fh:
+            meta = json.load(fh)
+        name = meta.get("model_class")
+        config_dict = meta.get("model_config")
+        if config_dict is None:
+            raise ValueError(
+                f"{directory!r} predates model-config metadata; re-save "
+                "the engine (or build the model yourself and call load)")
+        registry = _model_registry()
+        if name not in registry:
+            raise ValueError(f"unknown model class {name!r}; have "
+                             f"{sorted(registry)}")
+        model_class, config_class = registry[name]
+        model = model_class(config_class(**config_dict))
+        controller = model.make_controller(l0_config=SurrogateL0Config(
+            weight=meta.get("l0_weight", SurrogateL0Config().weight)))
+        engine = cls(model, controller)
+        engine.load(directory)
+        return engine
 
     def load(self, directory: str) -> None:
         """Restore a saved engine in place: model weights, learned

@@ -1,11 +1,26 @@
-"""Workload registry, cached runner, experiments, reporting, artifacts."""
+"""Workload registry, cached runner, on-disk store, sharded sweep,
+experiments, reporting, artifacts."""
 
 from . import experiments, reporting
-from .artifacts import save_experiment
+from .artifacts import save_experiment, save_sweep_report
 from .runner import WorkloadCache, WorkloadResult, run_workload
+from .store import WorkloadStore
 from .workloads import (QUICK, TINY, Scale, WorkloadSpec, get_workload,
-                        list_workloads)
+                        list_workloads, spec_hash)
 
-__all__ = ["experiments", "reporting", "save_experiment", "WorkloadCache",
-           "WorkloadResult", "run_workload", "QUICK", "TINY", "Scale",
-           "WorkloadSpec", "get_workload", "list_workloads"]
+__all__ = ["experiments", "reporting", "save_experiment",
+           "save_sweep_report", "WorkloadCache", "WorkloadResult",
+           "run_workload", "WorkloadStore", "SweepReport", "TaskOutcome",
+           "run_sweep", "QUICK", "TINY", "Scale", "WorkloadSpec",
+           "get_workload", "list_workloads", "spec_hash"]
+
+_SWEEP_EXPORTS = {"SweepReport", "TaskOutcome", "run_sweep"}
+
+
+def __getattr__(name):
+    # lazy so `python -m repro.eval.sweep` doesn't double-import the
+    # sweep module (sys.modules RuntimeWarning)
+    if name in _SWEEP_EXPORTS:
+        from . import sweep
+        return getattr(sweep, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,4 +1,4 @@
-"""Experiment artifact persistence (<name>.json + <name>.txt)."""
+"""Experiment/sweep artifact persistence (<name>.json + <name>.txt)."""
 
 from __future__ import annotations
 
@@ -41,3 +41,15 @@ def save_experiment(result, directory: str) -> str:
     with open(os.path.join(directory, f"{result.name}.txt"), "w") as fh:
         fh.write(result.table + "\n")
     return json_path
+
+
+def save_sweep_report(report, directory: str) -> str:
+    """Write ``sweep.json`` (per-task status, timings and metrics of a
+    :class:`~repro.eval.sweep.SweepReport`); returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, "sweep.json")
+    with open(path, "w") as fh:
+        json.dump({"scale": report.scale, "jobs": report.jobs,
+                   "summary": report.summary(),
+                   "outcomes": _jsonable(report.outcomes)}, fh, indent=2)
+    return path

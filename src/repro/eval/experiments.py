@@ -16,7 +16,7 @@ from ..hw import (AE_LEOPARD, HP_LEOPARD, AreaModel, EnergyModel,
                   TileSimulator, baseline_like)
 from ..hw.bitserial import bitserial_cycles_matrix, serial_cycle_count
 from .reporting import format_dict_table, format_series, geometric_mean
-from .runner import WorkloadCache, run_workload
+from .runner import WorkloadCache
 from .workloads import QUICK, Scale, get_workload
 
 REPRESENTATIVE_WORKLOADS = (
@@ -32,6 +32,34 @@ REPRESENTATIVE_WORKLOADS = (
 )
 
 MEMN2N_REPRESENTATIVE = ("memn2n/Task-1", "memn2n/Task-7")
+
+# single-workload experiments (fig2 dynamics, baseline comparison)
+DEFAULT_DYNAMICS_WORKLOAD = "bert_base_glue/G-QNLI"
+
+# experiments that never train a model
+STATIC_EXPERIMENTS = frozenset({"table1", "fig12"})
+
+
+def required_workloads(experiments, workloads=None,
+                       explicit: bool = False) -> list[str]:
+    """Union of workload names the given experiments will ask the cache
+    for — what a scheduler must prefetch so the experiments themselves
+    never train.  ``workloads`` overrides the representative subset for
+    the multi-workload figures; with ``explicit`` it also overrides
+    fig14's built-in MemN2N subset (fig2/baselines always use their
+    single default workload)."""
+    needed: set[str] = set()
+    for name in experiments:
+        if name in STATIC_EXPERIMENTS:
+            continue
+        if name in ("fig2", "baselines"):
+            needed.add(DEFAULT_DYNAMICS_WORKLOAD)
+        elif name == "fig14":
+            needed.update(workloads if (explicit and workloads)
+                          else MEMN2N_REPRESENTATIVE)
+        else:
+            needed.update(workloads or REPRESENTATIVE_WORKLOADS)
+    return sorted(needed)
 
 
 @dataclass
@@ -56,7 +84,7 @@ def _suite_of(name: str) -> str:
 # Fig. 2 — fine-tuning dynamics
 # ---------------------------------------------------------------------------
 
-def run_fig2(scale: Scale, workload: str = "bert_base_glue/G-QNLI",
+def run_fig2(scale: Scale, workload: str = DEFAULT_DYNAMICS_WORKLOAD,
              cache: WorkloadCache | None = None) -> ExperimentResult:
     result = (cache or WorkloadCache()).get(get_workload(workload), scale)
     history = result.history
@@ -473,7 +501,7 @@ def run_table2(scale: Scale, workloads=None,
 # ---------------------------------------------------------------------------
 
 def run_baseline_comparison(scale: Scale,
-                            workload: str = "bert_base_glue/G-QNLI",
+                            workload: str = DEFAULT_DYNAMICS_WORKLOAD,
                             cache: WorkloadCache | None = None
                             ) -> ExperimentResult:
     from ..core.finetune import evaluate_accuracy

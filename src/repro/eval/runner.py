@@ -1,9 +1,13 @@
-"""Workload runner + the session-scoped trained-model cache.
+"""Workload runner + the read-through trained-model cache.
 
 Training is the expensive step of every experiment, so ``WorkloadCache``
-memoizes :func:`run_workload` results by (workload, scale) — the
-benchmark suite trains each task exactly once per session and every
-figure/table reuses the cached model, records and hardware jobs.
+memoizes :func:`run_workload` results.  Lookups fall through three
+tiers — in-process memory, then an optional on-disk
+:class:`~repro.eval.store.WorkloadStore` (rehydrated without
+retraining), then actual training — and every training-relevant
+hyperparameter is part of the key via
+:func:`~repro.eval.workloads.spec_hash`, so editing a spec invalidates
+its cached model instead of silently serving a stale one.
 """
 
 from __future__ import annotations
@@ -18,7 +22,7 @@ from ..core import (FineTuneConfig, FinetuneHistory, PruningReport,
 from ..core.pruning import PruningMode
 from ..data import batches
 from ..optim import Adam, clip_grad_norm
-from .workloads import Scale, WorkloadSpec
+from .workloads import Scale, WorkloadSpec, spec_hash
 
 
 @dataclass
@@ -110,21 +114,64 @@ def run_workload(spec: WorkloadSpec, scale: Scale,
 
 
 class WorkloadCache:
-    """Session-scoped memo of trained workloads keyed by (name, scale)."""
+    """Read-through cache of trained workloads: memory -> disk -> train.
 
-    def __init__(self):
-        self._results: dict[tuple[str, str], WorkloadResult] = {}
+    Without a store this is the session-scoped memo it always was; with
+    one, every trained result is published to disk and later sessions
+    (or parallel sweep workers) rehydrate it instead of retraining.
+    ``events`` logs ``(workload name, tier)`` per lookup with tier in
+    {"memory", "disk", "train"} — tests and the sweep CLI assert
+    resumability against it.
+    """
+
+    def __init__(self, store=None):
+        self.store = store
+        self._results: dict[tuple, WorkloadResult] = {}
+        self.events: list[tuple[str, str]] = []
+
+    @staticmethod
+    def _key(spec: WorkloadSpec, scale: Scale) -> tuple:
+        return (spec.name, scale.name, spec.seed, spec_hash(spec))
 
     def get(self, spec: WorkloadSpec, scale: Scale) -> WorkloadResult:
-        key = (spec.name, scale.name)
-        if key not in self._results:
-            self._results[key] = run_workload(spec, scale)
-        return self._results[key]
+        key = self._key(spec, scale)
+        if key in self._results:
+            self.events.append((spec.name, "memory"))
+            return self._results[key]
+        if self.store is not None:
+            result = self.store.load(spec, scale)
+            if result is not None:
+                self.events.append((spec.name, "disk"))
+                self._results[key] = result
+                return result
+        result = run_workload(spec, scale)
+        if self.store is not None:
+            self.store.save(result)
+        self.events.append((spec.name, "train"))
+        self._results[key] = result
+        return result
+
+    def prefetch(self, workloads, scale: Scale, jobs: int = 1,
+                 echo=None):
+        """Train (or rehydrate) a batch of workloads up front; with
+        ``jobs > 1`` training shards across worker processes through
+        the store.  Returns the :class:`~repro.eval.sweep.SweepReport`."""
+        from .sweep import run_sweep
+        return run_sweep(workloads, scale, store=self.store, jobs=jobs,
+                         cache=self, echo=echo)
+
+    def trained(self) -> list[str]:
+        """Workload names this session actually trained (cache misses
+        on both the memory and disk tiers)."""
+        return [name for name, tier in self.events if tier == "train"]
 
     def __len__(self) -> int:
         return len(self._results)
 
     def __contains__(self, key) -> bool:
-        """Accepts the same (spec, scale) pair that ``get`` takes."""
+        """Accepts the same (spec, scale) pair that ``get`` takes; true
+        when either the memory or the disk tier would hit."""
         spec, scale = key
-        return (spec.name, scale.name) in self._results
+        if self._key(spec, scale) in self._results:
+            return True
+        return self.store is not None and self.store.contains(spec, scale)

@@ -1,0 +1,251 @@
+"""On-disk trained-model store: the persistence tier of the eval stack.
+
+A :class:`WorkloadStore` keeps one directory per trained workload,
+keyed by ``(workload name, scale, seed)`` with the spec-hyperparameter
+hash recorded inside the entry.  Each entry holds everything needed to
+rehydrate a full :class:`~repro.eval.runner.WorkloadResult` without
+retraining:
+
+``entry.json``
+    key fields, spec hash, metrics, fine-tune history, per-layer
+    pruning counters and per-record scalar metadata.
+``weights.npz`` / ``engine.json``
+    the deployed model, written via
+    :meth:`~repro.core.engine.PrunedInferenceEngine.save` so
+    :meth:`~repro.core.engine.PrunedInferenceEngine.from_directory`
+    rebuilds model + controller from metadata alone.
+``records.npz``
+    captured attention records (scores, pruned masks, Q/K activations)
+    that the hardware simulators turn into tile jobs.
+
+Writers publish atomically (write to a ``.tmp-<pid>`` sibling, then
+rename), so parallel sweep workers and a scanning parent never observe
+a half-written entry.  Loading an entry whose spec hash or scale fields
+no longer match the live spec deletes it — a stale model is worse than
+a cache miss.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+from dataclasses import asdict
+
+import numpy as np
+
+from ..core import (EpochStats, FinetuneHistory, PruningReport,
+                    PrunedInferenceEngine)
+from ..models import AttentionRecord
+from .runner import WorkloadResult
+from .workloads import Scale, WorkloadSpec, spec_hash
+
+FORMAT_VERSION = 1
+
+
+class WorkloadStore:
+    """Directory of trained workloads, shared by sweep workers."""
+
+    def __init__(self, root: str):
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    # -- keys -----------------------------------------------------------
+    @staticmethod
+    def key(spec: WorkloadSpec, scale: Scale) -> str:
+        return (f"{spec.name.replace('/', '__')}"
+                f"__{scale.name}__seed{spec.seed}")
+
+    def entry_dir(self, spec: WorkloadSpec, scale: Scale) -> str:
+        return os.path.join(self.root, self.key(spec, scale))
+
+    # -- queries --------------------------------------------------------
+    def _read_entry(self, directory: str) -> dict | None:
+        path = os.path.join(directory, "entry.json")
+        try:
+            with open(path) as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def _fresh(self, entry: dict | None, spec: WorkloadSpec,
+               scale: Scale) -> bool:
+        return (entry is not None
+                and entry.get("format_version") == FORMAT_VERSION
+                and entry.get("spec_hash") == spec_hash(spec)
+                and entry.get("scale") == asdict(scale))
+
+    def contains(self, spec: WorkloadSpec, scale: Scale) -> bool:
+        """True when a *fresh* entry exists (hash + scale both match)."""
+        directory = self.entry_dir(spec, scale)
+        return self._fresh(self._read_entry(directory), spec, scale)
+
+    @staticmethod
+    def _is_staging(name: str) -> bool:
+        """Unpublished ``<key>.tmp-<pid>`` leftovers from a killed
+        writer; never surface them as real entries."""
+        return ".tmp-" in name
+
+    def entries(self) -> list[dict]:
+        """entry.json of every published entry, sorted by key."""
+        found = []
+        for name in sorted(os.listdir(self.root)):
+            if self._is_staging(name):
+                continue
+            entry = self._read_entry(os.path.join(self.root, name))
+            if entry is not None:
+                entry["key"] = name
+                found.append(entry)
+        return found
+
+    def describe(self) -> str:
+        """Human-readable inventory (``python -m repro.eval.sweep
+        --cache-dir <dir> --describe``)."""
+        entries = self.entries()
+        if not entries:
+            return f"{self.root}: empty store"
+        lines = [f"{self.root}: {len(entries)} trained workload(s)"]
+        for entry in entries:
+            lines.append(
+                f"  {entry['key']}  spec={entry['spec_hash']}  "
+                f"{entry.get('metric', '?')}: "
+                f"{entry.get('baseline_metric', float('nan')):.4f} -> "
+                f"{entry.get('pruned_metric', float('nan')):.4f}  "
+                f"pruning={entry.get('pruning_rate', float('nan')):.3f}")
+        return "\n".join(lines)
+
+    # -- writes ---------------------------------------------------------
+    def save(self, result: WorkloadResult) -> str:
+        """Publish a trained result atomically; returns the entry dir."""
+        final = self.entry_dir(result.spec, result.scale)
+        tmp = f"{final}.tmp-{os.getpid()}"
+        if os.path.exists(tmp):
+            shutil.rmtree(tmp)
+        os.makedirs(tmp)
+
+        PrunedInferenceEngine(result.model, result.controller).save(tmp)
+
+        arrays: dict[str, np.ndarray] = {}
+        record_meta = []
+        for i, record in enumerate(result.records):
+            arrays[f"r{i}_scores"] = record.scores
+            arrays[f"r{i}_pruned"] = record.pruned_mask
+            if record.valid is not None:
+                arrays[f"r{i}_valid"] = record.valid
+            if record.queries is not None:
+                arrays[f"r{i}_queries"] = record.queries
+                arrays[f"r{i}_keys"] = record.keys
+            record_meta.append({
+                "layer_index": record.layer_index,
+                "threshold": record.threshold,
+                "has_valid": record.valid is not None,
+                "has_qk": record.queries is not None,
+            })
+        np.savez_compressed(os.path.join(tmp, "records.npz"), **arrays)
+
+        entry = {
+            "format_version": FORMAT_VERSION,
+            "workload": result.spec.name,
+            "seed": result.spec.seed,
+            "spec_hash": spec_hash(result.spec),
+            "scale": asdict(result.scale),
+            "metric": result.spec.metric,
+            "baseline_metric": result.baseline_metric,
+            "pruned_metric": result.pruned_metric,
+            "pruning_rate": result.pruning_rate,
+            "history": [asdict(epoch) for epoch in result.history.epochs],
+            "pruned_per_layer":
+                result.pruning_report.pruned_per_layer.tolist(),
+            "valid_per_layer":
+                result.pruning_report.valid_per_layer.tolist(),
+            "records": record_meta,
+            "saved_at": time.time(),
+        }
+        with open(os.path.join(tmp, "entry.json"), "w") as fh:
+            json.dump(entry, fh, indent=2)
+
+        # publish: move any previous entry aside atomically, then claim
+        # the final name.  Losing the rename race to a concurrent
+        # writer is fine — training is deterministic, so the entry that
+        # landed first is equivalent; just discard ours.
+        if os.path.isdir(final):
+            doomed = f"{final}.tmp-{os.getpid()}-old"
+            try:
+                os.rename(final, doomed)
+            except OSError:
+                pass
+            else:
+                shutil.rmtree(doomed, ignore_errors=True)
+        try:
+            os.rename(tmp, final)
+        except OSError:
+            shutil.rmtree(tmp, ignore_errors=True)
+        return final
+
+    def invalidate(self, spec: WorkloadSpec, scale: Scale) -> bool:
+        """Delete the entry for (spec, scale); True if one existed."""
+        directory = self.entry_dir(spec, scale)
+        if not os.path.isdir(directory):
+            return False
+        shutil.rmtree(directory)
+        return True
+
+    def clear(self) -> int:
+        """Wipe every entry (and stale staging leftovers); returns how
+        many published entries were removed."""
+        removed = 0
+        for name in os.listdir(self.root):
+            path = os.path.join(self.root, name)
+            if os.path.isdir(path):
+                shutil.rmtree(path)
+                if not self._is_staging(name):
+                    removed += 1
+        return removed
+
+    # -- rehydration ----------------------------------------------------
+    def load(self, spec: WorkloadSpec,
+             scale: Scale) -> WorkloadResult | None:
+        """Rehydrate a stored entry to a full WorkloadResult, or None on
+        a miss.  A stale entry (spec hash / scale mismatch) is deleted
+        and reported as a miss, so the caller retrains."""
+        directory = self.entry_dir(spec, scale)
+        entry = self._read_entry(directory)
+        if entry is None:
+            return None
+        if not self._fresh(entry, spec, scale):
+            self.invalidate(spec, scale)
+            return None
+
+        engine = PrunedInferenceEngine.from_directory(directory)
+        history = FinetuneHistory(
+            epochs=[EpochStats(**epoch) for epoch in entry["history"]])
+
+        records = []
+        with np.load(os.path.join(directory, "records.npz")) as data:
+            for i, meta in enumerate(entry["records"]):
+                records.append(AttentionRecord(
+                    layer_index=meta["layer_index"],
+                    scores=data[f"r{i}_scores"],
+                    pruned_mask=data[f"r{i}_pruned"],
+                    threshold=meta["threshold"],
+                    valid=(data[f"r{i}_valid"]
+                           if meta["has_valid"] else None),
+                    queries=(data[f"r{i}_queries"]
+                             if meta["has_qk"] else None),
+                    keys=(data[f"r{i}_keys"]
+                          if meta["has_qk"] else None),
+                ))
+        report = PruningReport(
+            pruned_per_layer=np.asarray(entry["pruned_per_layer"],
+                                        dtype=np.float64),
+            valid_per_layer=np.asarray(entry["valid_per_layer"],
+                                       dtype=np.float64),
+            records=records)
+
+        return WorkloadResult(
+            spec=spec, scale=scale,
+            model=engine.model, controller=engine.controller,
+            history=history, pruning_report=report,
+            baseline_metric=entry["baseline_metric"],
+            pruned_metric=entry["pruned_metric"])

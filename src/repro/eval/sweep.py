@@ -1,0 +1,258 @@
+"""Sharded, resumable sweep scheduler over the workload registry.
+
+:func:`run_sweep` shards the expensive step — training — across a
+``ProcessPoolExecutor``: each worker trains one workload and publishes
+the result to the shared :class:`~repro.eval.store.WorkloadStore`; the
+parent rehydrates finished entries into its ``WorkloadCache``.  Store
+entries double as checkpoints, so a killed sweep resumes where it
+stopped: rerunning trains only the tasks whose entries are missing (or
+stale).  Per-task training is independently seeded, so a parallel
+sweep's metrics are bit-identical to the serial path.
+
+CLI (also the CI resumability smoke job)::
+
+    python -m repro.eval.sweep --workloads memn2n/Task-1,memn2n/Task-2 \
+        --scale tiny --cache-dir /tmp/store --jobs 2
+    python -m repro.eval.sweep --suite memn2n --cache-dir store --jobs 4
+    python -m repro.eval.sweep --cache-dir store --describe
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+
+from .runner import run_workload
+from .store import WorkloadStore
+from .workloads import (QUICK, TINY, Scale, WORKLOADS, get_workload,
+                        list_workloads)
+
+SCALES = {"tiny": TINY, "quick": QUICK}
+
+
+@dataclass
+class TaskOutcome:
+    workload: str
+    status: str                          # "trained" | "cached" | "failed"
+    seconds: float = 0.0
+    baseline_metric: float | None = None
+    pruned_metric: float | None = None
+    pruning_rate: float | None = None
+    error: str | None = None
+
+
+@dataclass
+class SweepReport:
+    scale: str
+    jobs: int
+    outcomes: list[TaskOutcome] = field(default_factory=list)
+
+    def by_status(self, status: str) -> list[TaskOutcome]:
+        return [o for o in self.outcomes if o.status == status]
+
+    @property
+    def trained(self) -> list[TaskOutcome]:
+        return self.by_status("trained")
+
+    @property
+    def cached(self) -> list[TaskOutcome]:
+        return self.by_status("cached")
+
+    @property
+    def failed(self) -> list[TaskOutcome]:
+        return self.by_status("failed")
+
+    def summary(self) -> str:
+        seconds = sum(o.seconds for o in self.outcomes)
+        return (f"[sweep] scale={self.scale} jobs={self.jobs}: "
+                f"{len(self.trained)} trained, {len(self.cached)} cached, "
+                f"{len(self.failed)} failed "
+                f"({seconds:.1f}s total train time)")
+
+
+def _train_into_store(name: str, scale: Scale, store_root: str) -> dict:
+    """Worker entry point: train one workload, publish it, return a
+    summary (the parent rehydrates the full result from the store)."""
+    spec = get_workload(name)
+    start = time.time()
+    result = run_workload(spec, scale)
+    WorkloadStore(store_root).save(result)
+    return {
+        "workload": name,
+        "seconds": time.time() - start,
+        "baseline_metric": result.baseline_metric,
+        "pruned_metric": result.pruned_metric,
+        "pruning_rate": result.pruning_rate,
+    }
+
+
+def run_sweep(workloads, scale: Scale, store: WorkloadStore | None = None,
+              jobs: int = 1, cache=None, echo=None) -> SweepReport:
+    """Train every workload in ``workloads`` that the store does not
+    already hold, ``jobs`` tasks at a time, then (if ``cache`` is
+    given) rehydrate all of them into it."""
+    echo = echo or (lambda line: None)
+    names = list(workloads)
+    for name in names:
+        get_workload(name)               # unknown names fail before work
+    if jobs > 1 and store is None:
+        raise ValueError("jobs > 1 needs a WorkloadStore: workers hand "
+                         "results back through the shared store")
+
+    report = SweepReport(scale=scale.name, jobs=jobs)
+    pending = []
+    for name in names:
+        spec = get_workload(name)
+        hit = (store is not None and store.contains(spec, scale)) or (
+            cache is not None and (spec, scale) in cache)
+        if hit:
+            report.outcomes.append(TaskOutcome(workload=name,
+                                               status="cached"))
+            echo(f"[cached] {name}")
+        else:
+            pending.append(name)
+
+    def record_trained(name, seconds, baseline, pruned, rate):
+        report.outcomes.append(TaskOutcome(
+            workload=name, status="trained", seconds=seconds,
+            baseline_metric=baseline, pruned_metric=pruned,
+            pruning_rate=rate))
+        echo(f"[train] {name} ({seconds:.1f}s, pruning {rate:.3f})")
+
+    def record_failed(name, error):
+        report.outcomes.append(TaskOutcome(
+            workload=name, status="failed", error=str(error)))
+        echo(f"[failed] {name}: {error}")
+
+    if jobs > 1 and pending:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {pool.submit(_train_into_store, name, scale,
+                                   store.root): name
+                       for name in pending}
+            for future in as_completed(futures):
+                name = futures[future]
+                error = future.exception()
+                if error is not None:
+                    record_failed(name, error)
+                    continue
+                payload = future.result()
+                record_trained(name, payload["seconds"],
+                               payload["baseline_metric"],
+                               payload["pruned_metric"],
+                               payload["pruning_rate"])
+    else:
+        for name in pending:
+            spec = get_workload(name)
+            start = time.time()
+            try:
+                if cache is not None:
+                    result = cache.get(spec, scale)   # trains + stores
+                else:
+                    result = run_workload(spec, scale)
+                    if store is not None:
+                        store.save(result)
+            except Exception as error:   # noqa: BLE001 - report per task
+                record_failed(name, error)
+                continue
+            record_trained(name, time.time() - start,
+                           result.baseline_metric, result.pruned_metric,
+                           result.pruning_rate)
+
+    if cache is not None:
+        for name in names:
+            if not any(o.workload == name and o.status == "failed"
+                       for o in report.outcomes):
+                cache.get(get_workload(name), scale)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def _resolve_names(parser: argparse.ArgumentParser,
+                   args: argparse.Namespace) -> list[str]:
+    if args.all:
+        return list_workloads()
+    if args.suite:
+        names = list_workloads(args.suite)
+        if not names:
+            suites = sorted({spec.suite for spec in WORKLOADS.values()})
+            parser.error(f"unknown suite {args.suite!r}; valid suites: "
+                         + ", ".join(suites))
+        return names
+    if args.workloads:
+        names = [w.strip() for w in args.workloads.split(",") if w.strip()]
+        unknown = [w for w in names if w not in WORKLOADS]
+        if unknown:
+            parser.error(
+                f"unknown workloads: {', '.join(unknown)}; run with "
+                "--list to see all 43 registered names")
+        return names
+    parser.error("pick workloads via --workloads, --suite or --all "
+                 "(or use --list / --describe)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Sharded, resumable training sweep over the "
+                    "workload registry")
+    parser.add_argument("--workloads", default=None,
+                        help="comma-separated workload names")
+    parser.add_argument("--suite", default=None,
+                        help="every workload of one suite")
+    parser.add_argument("--all", action="store_true",
+                        help="the full 43-task registry")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    parser.add_argument("--cache-dir", default=None,
+                        help="on-disk store; reruns train only missing "
+                             "entries")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel training worker processes")
+    parser.add_argument("--list", action="store_true",
+                        help="print the registry and exit")
+    parser.add_argument("--describe", action="store_true",
+                        help="print the store inventory and exit")
+    parser.add_argument("--wipe", action="store_true",
+                        help="clear the store before sweeping")
+    parser.add_argument("--save-dir", default=None,
+                        help="also write sweep.json via eval.artifacts")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in list_workloads():
+            print(name)
+        return 0
+
+    store = WorkloadStore(args.cache_dir) if args.cache_dir else None
+    if args.describe:
+        if store is None:
+            parser.error("--describe needs --cache-dir")
+        print(store.describe())
+        return 0
+    if args.wipe:
+        if store is None:
+            parser.error("--wipe needs --cache-dir")
+        print(f"[wipe] removed {store.clear()} entries from {store.root}")
+        if not (args.workloads or args.suite or args.all):
+            return 0                     # standalone wipe is a valid run
+
+    names = _resolve_names(parser, args)
+    if args.jobs > 1 and store is None:
+        parser.error("--jobs > 1 needs --cache-dir (workers hand results "
+                     "back through the shared store)")
+
+    report = run_sweep(names, SCALES[args.scale], store=store,
+                       jobs=args.jobs, echo=print)
+    print(report.summary())
+    if args.save_dir:
+        from .artifacts import save_sweep_report
+        print(f"[saved {save_sweep_report(report, args.save_dir)}]")
+    return 1 if report.failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

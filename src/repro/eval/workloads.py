@@ -5,10 +5,18 @@ BERT-large on 9 GLUE tasks each, BERT/ALBERT on SQuAD, GPT-2 on
 WikiText-2 and ViT on CIFAR-10 (20+9+9+2+1+1+1 = 43).  Each spec
 carries the per-suite fine-tuning hyperparameters (the paper tunes the
 threshold learning rate and the Eq. 7a balance factor per task family).
+
+Specs are fully picklable (the data/model factories are module-level
+dataclasses, not closures) so sweep workers can receive them directly,
+and ``spec_hash`` fingerprints every training-relevant hyperparameter —
+the on-disk :class:`~repro.eval.store.WorkloadStore` keys entries on it
+so a hyperparameter change invalidates stale trained models.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Callable
 
@@ -60,6 +68,68 @@ class WorkloadSpec:
         return self.model_fn(task, self.seed)
 
 
+HASHED_FIELDS = ("name", "suite", "task", "metric", "l0_weight",
+                 "threshold_lr", "weight_lr", "pretrain_lr",
+                 "pretrain_epoch_factor", "finetune_epoch_factor", "seed")
+
+
+def spec_hash(spec: WorkloadSpec) -> str:
+    """Stable fingerprint of every hyperparameter that shapes training.
+
+    The factories themselves are excluded (callables don't hash
+    stably); changing what a registered factory builds requires bumping
+    the store's format version instead.
+    """
+    payload = {name: getattr(spec, name) for name in HASHED_FIELDS}
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# data factories (picklable: sweep workers unpickle specs wholesale)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BabiData:
+    task_id: int
+
+    def __call__(self, scale: Scale, seed: int) -> Task:
+        return make_babi_task(self.task_id, scale.train_size,
+                              scale.test_size, seed)
+
+
+@dataclass(frozen=True)
+class GlueData:
+    task_id: str
+
+    def __call__(self, scale: Scale, seed: int) -> Task:
+        return make_glue_task(self.task_id, scale.train_size,
+                              scale.test_size, seed)
+
+
+@dataclass(frozen=True)
+class SquadData:
+    version: str
+    seed_offset: int = 0
+
+    def __call__(self, scale: Scale, seed: int) -> Task:
+        return make_squad_task(self.version, scale.train_size,
+                               scale.test_size, seed + self.seed_offset)
+
+
+@dataclass(frozen=True)
+class WikitextData:
+    def __call__(self, scale: Scale, seed: int) -> Task:
+        return make_wikitext_task(scale.train_size, scale.test_size, seed)
+
+
+@dataclass(frozen=True)
+class CifarData:
+    def __call__(self, scale: Scale, seed: int) -> Task:
+        return make_cifar_task(scale.train_size, scale.test_size, seed)
+
+
 # ---------------------------------------------------------------------------
 # model builders
 # ---------------------------------------------------------------------------
@@ -80,14 +150,17 @@ def _bert_large(task: Task, seed: int) -> TransformerClassifier:
         num_classes=task.num_classes, seed=seed))
 
 
-def _span_model(dim: int, layers: int):
-    def build(task: Task, seed: int) -> TransformerClassifier:
+@dataclass(frozen=True)
+class SpanModel:
+    dim: int
+    layers: int
+
+    def __call__(self, task: Task, seed: int) -> TransformerClassifier:
         return TransformerClassifier(ClassifierConfig(
             vocab_size=task.metadata["vocab_size"],
             max_seq_len=task.metadata["seq_len"] + 2,
-            dim=dim, num_heads=2, num_layers=layers,
+            dim=self.dim, num_heads=2, num_layers=self.layers,
             num_classes=task.num_classes, head="span", seed=seed))
-    return build
 
 
 def _gpt2(task: Task, seed: int) -> TransformerLM:
@@ -127,17 +200,11 @@ def _register(spec: WorkloadSpec) -> None:
     WORKLOADS[spec.name] = spec
 
 
-def _glue_data(task_id: str):
-    return lambda scale, seed: make_glue_task(
-        task_id, scale.train_size, scale.test_size, seed)
-
-
 for i in range(1, 21):
     _register(WorkloadSpec(
         name=f"memn2n/Task-{i}", suite="memn2n", task=f"Task-{i}",
         metric="accuracy",
-        data_fn=(lambda tid: lambda scale, seed: make_babi_task(
-            tid, scale.train_size, scale.test_size, seed))(i),
+        data_fn=BabiData(i),
         model_fn=_memn2n,
         l0_weight=0.3, threshold_lr=6e-2, pretrain_lr=8e-3,
         pretrain_epoch_factor=2.0,
@@ -147,45 +214,41 @@ for task_id in GLUE_TASK_IDS:
     _register(WorkloadSpec(
         name=f"bert_base_glue/G-{task_id.upper()}", suite="bert_base_glue",
         task=f"G-{task_id.upper()}", metric="accuracy",
-        data_fn=_glue_data(task_id), model_fn=_bert_base,
+        data_fn=GlueData(task_id), model_fn=_bert_base,
         l0_weight=0.05, threshold_lr=8e-3, pretrain_epoch_factor=2.0,
     ))
     _register(WorkloadSpec(
         name=f"bert_large_glue/G-{task_id.upper()}", suite="bert_large_glue",
         task=f"G-{task_id.upper()}", metric="accuracy",
-        data_fn=_glue_data(task_id), model_fn=_bert_large,
+        data_fn=GlueData(task_id), model_fn=_bert_large,
         l0_weight=0.05, threshold_lr=8e-3, pretrain_epoch_factor=2.0,
     ))
 
 _register(WorkloadSpec(
     name="bert_base_squad/SQUAD", suite="bert_base_squad", task="SQUAD",
     metric="accuracy",
-    data_fn=lambda scale, seed: make_squad_task(
-        "v1", scale.train_size, scale.test_size, seed),
-    model_fn=_span_model(32, 2),
+    data_fn=SquadData("v1"),
+    model_fn=SpanModel(32, 2),
     l0_weight=0.05, threshold_lr=8e-3, pretrain_epoch_factor=2.0,
 ))
 _register(WorkloadSpec(
     name="bert_base_squad/SQUAD-v2", suite="bert_base_squad",
     task="SQUAD-v2", metric="accuracy",
-    data_fn=lambda scale, seed: make_squad_task(
-        "v2", scale.train_size, scale.test_size, seed),
-    model_fn=_span_model(32, 2),
+    data_fn=SquadData("v2"),
+    model_fn=SpanModel(32, 2),
     l0_weight=0.05, threshold_lr=8e-3, pretrain_epoch_factor=2.0,
 ))
 _register(WorkloadSpec(
     name="albert_squad/SQUAD", suite="albert_squad", task="SQUAD",
     metric="accuracy",
-    data_fn=lambda scale, seed: make_squad_task(
-        "v1", scale.train_size, scale.test_size, seed + 1),
-    model_fn=_span_model(28, 2),
+    data_fn=SquadData("v1", seed_offset=1),
+    model_fn=SpanModel(28, 2),
     l0_weight=0.05, threshold_lr=8e-3, pretrain_epoch_factor=2.0, seed=1,
 ))
 _register(WorkloadSpec(
     name="gpt2_wikitext/WikiText-2", suite="gpt2_wikitext",
     task="WikiText-2", metric="perplexity",
-    data_fn=lambda scale, seed: make_wikitext_task(
-        scale.train_size, scale.test_size, seed),
+    data_fn=WikitextData(),
     model_fn=_gpt2,
     l0_weight=0.05, threshold_lr=8e-3, weight_lr=3e-4,
     pretrain_epoch_factor=2.0,
@@ -193,8 +256,7 @@ _register(WorkloadSpec(
 _register(WorkloadSpec(
     name="vit_cifar/CIFAR-10", suite="vit_cifar", task="CIFAR-10",
     metric="accuracy",
-    data_fn=lambda scale, seed: make_cifar_task(
-        scale.train_size, scale.test_size, seed),
+    data_fn=CifarData(),
     model_fn=_vit,
     l0_weight=0.02, threshold_lr=4e-3, pretrain_epoch_factor=1.0,
 ))

@@ -1,0 +1,134 @@
+"""On-disk store + sharded sweep: round-trip fidelity, invalidation,
+engine reconstruction, and serial/parallel equivalence (all at TINY
+scale on the cheap MemN2N workloads)."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.engine import PrunedInferenceEngine
+from repro.data import batches
+from repro.eval.runner import WorkloadCache, run_workload
+from repro.eval.store import WorkloadStore
+from repro.eval.sweep import run_sweep
+from repro.eval.workloads import TINY, get_workload, spec_hash
+
+SWEEP_WORKLOADS = ["memn2n/Task-1", "memn2n/Task-2",
+                   "memn2n/Task-3", "memn2n/Task-4"]
+
+
+@pytest.fixture(scope="module")
+def task1_result():
+    return run_workload(get_workload("memn2n/Task-1"), TINY)
+
+
+def test_round_trip_is_exact(tmp_path, task1_result):
+    spec = get_workload("memn2n/Task-1")
+    store = WorkloadStore(tmp_path / "store")
+    store.save(task1_result)
+    assert store.contains(spec, TINY)
+
+    loaded = store.load(spec, TINY)
+    assert loaded is not None
+    assert loaded.baseline_metric == task1_result.baseline_metric
+    assert loaded.pruned_metric == task1_result.pruned_metric
+    assert loaded.metric_name == task1_result.metric_name
+    np.testing.assert_array_equal(
+        loaded.controller.threshold_values(),
+        task1_result.controller.threshold_values())
+
+    original_state = task1_result.model.state_dict()
+    for name, weights in loaded.model.state_dict().items():
+        np.testing.assert_array_equal(weights, original_state[name])
+
+    assert ([(e.epoch, e.loss, e.sparsity, e.mean_threshold)
+             for e in loaded.history.epochs]
+            == [(e.epoch, e.loss, e.sparsity, e.mean_threshold)
+                for e in task1_result.history.epochs])
+
+    np.testing.assert_array_equal(
+        loaded.pruning_report.pruned_per_layer,
+        task1_result.pruning_report.pruned_per_layer)
+    assert loaded.pruning_rate == task1_result.pruning_rate
+    assert len(loaded.records) == len(task1_result.records)
+    for got, expected in zip(loaded.records, task1_result.records):
+        assert got.layer_index == expected.layer_index
+        assert got.threshold == expected.threshold
+        np.testing.assert_array_equal(got.scores, expected.scores)
+        np.testing.assert_array_equal(got.pruned_mask, expected.pruned_mask)
+        np.testing.assert_array_equal(got.queries, expected.queries)
+        np.testing.assert_array_equal(got.keys, expected.keys)
+
+
+def test_hyperparameter_change_invalidates(tmp_path, task1_result):
+    spec = get_workload("memn2n/Task-1")
+    store = WorkloadStore(tmp_path / "store")
+    store.save(task1_result)
+
+    changed = replace(spec, l0_weight=spec.l0_weight * 2)
+    assert spec_hash(changed) != spec_hash(spec)
+    assert not store.contains(changed, TINY)
+    assert store.load(changed, TINY) is None
+    # the stale entry was deleted, not just skipped
+    assert not store.contains(spec, TINY)
+
+
+def test_cache_reads_through_store(tmp_path, task1_result):
+    spec = get_workload("memn2n/Task-1")
+    store = WorkloadStore(tmp_path / "store")
+    store.save(task1_result)
+
+    cache = WorkloadCache(store)
+    assert (spec, TINY) in cache          # disk tier counts as a hit
+    first = cache.get(spec, TINY)
+    assert cache.events == [(spec.name, "disk")]
+    assert first.pruned_metric == task1_result.pruned_metric
+    assert cache.get(spec, TINY) is first
+    assert cache.events[-1] == (spec.name, "memory")
+    assert cache.trained() == []
+
+
+def test_engine_from_directory(tmp_path, task1_result):
+    spec = get_workload("memn2n/Task-1")
+    engine = PrunedInferenceEngine(task1_result.model,
+                                   task1_result.controller)
+    directory = engine.save(str(tmp_path / "engine"))
+
+    rebuilt = PrunedInferenceEngine.from_directory(directory)
+    assert type(rebuilt.model) is type(task1_result.model)
+    np.testing.assert_array_equal(
+        rebuilt.controller.threshold_values(),
+        task1_result.controller.threshold_values())
+    batch = next(batches(spec.make_data(TINY).test, 16))
+    np.testing.assert_array_equal(rebuilt.predict(batch),
+                                  engine.predict(batch))
+
+
+def test_parallel_sweep_matches_serial(tmp_path):
+    serial = WorkloadStore(tmp_path / "serial")
+    parallel = WorkloadStore(tmp_path / "parallel")
+
+    serial_report = run_sweep(SWEEP_WORKLOADS, TINY, store=serial, jobs=1)
+    parallel_report = run_sweep(SWEEP_WORKLOADS, TINY, store=parallel,
+                                jobs=2)
+    assert [o.status for o in serial_report.outcomes] == ["trained"] * 4
+    assert sorted(o.workload for o in parallel_report.trained) \
+        == sorted(SWEEP_WORKLOADS)
+
+    for name in SWEEP_WORKLOADS:
+        spec = get_workload(name)
+        a = serial.load(spec, TINY)
+        b = parallel.load(spec, TINY)
+        assert a.baseline_metric == b.baseline_metric
+        assert a.pruned_metric == b.pruned_metric
+        assert a.pruning_rate == b.pruning_rate
+        np.testing.assert_array_equal(a.controller.threshold_values(),
+                                      b.controller.threshold_values())
+
+    # resumability: drop one entry, rerun, only that task retrains
+    parallel.invalidate(get_workload(SWEEP_WORKLOADS[0]), TINY)
+    resumed = run_sweep(SWEEP_WORKLOADS, TINY, store=parallel, jobs=2)
+    assert [o.workload for o in resumed.trained] == [SWEEP_WORKLOADS[0]]
+    assert sorted(o.workload for o in resumed.cached) \
+        == sorted(SWEEP_WORKLOADS[1:])
