@@ -31,6 +31,10 @@ class HardwareEstimate:
     speedup_vs_baseline: float
     energy_reduction: float
     pruning_rate: float
+    # absolute energies (pJ) so served traffic can aggregate totals
+    # across coalesced batches, not just per-batch ratios
+    energy_pj: float = 0.0
+    baseline_energy_pj: float = 0.0
 
 
 class PrunedInferenceEngine:
@@ -46,16 +50,35 @@ class PrunedInferenceEngine:
         controller.hard()
         model.eval()
 
-    def predict(self, batch):
+    def logits_for(self, inputs, mask=None) -> np.ndarray:
+        """Raw logits for inputs that may or may not carry a mask (no
+        labels needed — this is the serving-side entry point)."""
         with no_grad():
-            if isinstance(batch.inputs, tuple):
-                logits = self.model.logits(*batch.inputs, batch.mask)
-            elif batch.mask is not None:
-                logits = self.model.logits(batch.inputs, batch.mask)
+            if isinstance(inputs, tuple):
+                logits = self.model.logits(*inputs, mask)
+            elif mask is not None:
+                logits = self.model.logits(inputs, mask)
             else:
                 # mask-free models (e.g. the causal LM) take tokens only
-                logits = self.model.logits(batch.inputs)
-        return logits.data.argmax(axis=-1)
+                logits = self.model.logits(inputs)
+        return logits.data
+
+    def predict(self, batch):
+        return self.logits_for(batch.inputs, batch.mask).argmax(axis=-1)
+
+    def predict_many(self, inputs, mask=None, collect_records: bool = False
+                     ) -> tuple[np.ndarray, np.ndarray, list | None]:
+        """Batched inference for the serving layer: returns
+        (predictions, logits, attention records or None).  With
+        ``collect_records`` the forward runs with score/QK capture on,
+        so callers can split per-item records out of a coalesced batch
+        and charge hardware cycles/energy to individual requests."""
+        if collect_records:
+            logits, records = self.run_recorded(
+                lambda: self.logits_for(inputs, mask))
+        else:
+            logits, records = self.logits_for(inputs, mask), None
+        return logits.argmax(axis=-1), logits, records
 
     def save(self, directory: str, extra: dict | None = None) -> str:
         """Persist weights + thresholds + enough architecture metadata
@@ -79,6 +102,13 @@ class PrunedInferenceEngine:
             json.dump(meta, fh, indent=2)
         return directory
 
+    @staticmethod
+    def read_metadata(directory: str) -> dict:
+        """Parse ``engine.json`` for a saved engine directory (the one
+        place ``load`` and ``from_directory`` read metadata from)."""
+        with open(os.path.join(directory, "engine.json")) as fh:
+            return json.load(fh)
+
     @classmethod
     def from_directory(cls, directory: str) -> "PrunedInferenceEngine":
         """Rebuild a saved engine with no pre-built model: reconstruct
@@ -86,8 +116,7 @@ class PrunedInferenceEngine:
         attach a fresh controller, then restore weights + thresholds."""
         from .soft_threshold import SurrogateL0Config
 
-        with open(os.path.join(directory, "engine.json")) as fh:
-            meta = json.load(fh)
+        meta = cls.read_metadata(directory)
         name = meta.get("model_class")
         config_dict = meta.get("model_config")
         if config_dict is None:
@@ -111,33 +140,47 @@ class PrunedInferenceEngine:
         thresholds and the soft-gate sharpness."""
         from .soft_threshold import SoftThresholdConfig
 
-        with open(os.path.join(directory, "engine.json")) as fh:
-            meta = json.load(fh)
+        meta = self.read_metadata(directory)
         state = np.load(os.path.join(directory, "weights.npz"))
         self.model.load_state_dict({k: state[k] for k in state.files})
         self.controller.set_threshold_values(np.array(meta["thresholds"]))
         self.controller.soft_config = SoftThresholdConfig(
             sharpness=meta["soft_sharpness"])
 
-    def estimate_hardware(self, batch, config=None) -> HardwareEstimate:
-        from ..hw import (AE_LEOPARD, EnergyModel, TileSimulator,
-                          baseline_like)
-        from ..hw.workload import jobs_from_records
-
-        config = config or AE_LEOPARD
+    def run_recorded(self, forward) -> tuple[object, list]:
+        """Run ``forward`` under no-grad with attention score/QK capture
+        enabled on every layer; returns (forward's value, records)."""
         modules = self.model.attention_modules()
         for module in modules:
             module.record_scores = True
             module.record_qk = True
             module.clear_records()
-        with no_grad():
-            self.model.metrics(batch)
-        records = [r for m in modules for r in m.records]
-        for module in modules:
-            module.record_scores = False
-            module.record_qk = False
-            module.clear_records()
+        try:
+            with no_grad():
+                value = forward()
+        finally:
+            records = [r for m in modules for r in m.records]
+            for module in modules:
+                module.record_scores = False
+                module.record_qk = False
+                module.clear_records()
+        return value, records
 
+    def estimate_hardware(self, batch, config=None) -> HardwareEstimate:
+        _, records = self.run_recorded(lambda: self.model.metrics(batch))
+        return self.estimate_from_records(records, config)
+
+    def estimate_from_records(self, records, config=None
+                              ) -> HardwareEstimate:
+        """Simulate captured attention records on the accelerator model
+        vs the non-pruning baseline.  Serving uses this directly: the
+        batcher slices a coalesced batch's records per request, and each
+        request's estimate is identical to a solo run of that request."""
+        from ..hw import (AE_LEOPARD, EnergyModel, TileSimulator,
+                          baseline_like)
+        from ..hw.workload import jobs_from_records
+
+        config = config or AE_LEOPARD
         jobs = jobs_from_records(records)
         ours = TileSimulator(config).run(jobs)
         base_config = baseline_like(config)
@@ -153,4 +196,6 @@ class PrunedInferenceEngine:
             speedup_vs_baseline=base.total_cycles / max(ours.total_cycles, 1),
             energy_reduction=base_energy / max(ours_energy, 1e-12),
             pruning_rate=ours.pruning_rate,
+            energy_pj=ours_energy,
+            baseline_energy_pj=base_energy,
         )

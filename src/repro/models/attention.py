@@ -95,7 +95,7 @@ class AttentionBase(Module):
                 gate = soft_threshold(scores, threshold,
                                       controller.soft_config)
                 if valid4 is not None:
-                    count = np.broadcast_to(valid4, scores.shape).sum()
+                    count = int(valid4.sum()) * scores.shape[1]
                     gate_mean = (gate * valid4).sum() * (1.0 / max(count, 1))
                 else:
                     count = scores.size
@@ -103,7 +103,7 @@ class AttentionBase(Module):
                 controller.add_l0(gate_mean)
                 hard = scores.data < float(threshold.data)
                 if valid4 is not None:
-                    hard = hard & np.broadcast_to(valid4, scores.shape)
+                    hard = hard & valid4
                 controller.count_soft(int(hard.sum()), int(count))
             return F.softmax(logits)
 
@@ -127,12 +127,13 @@ class AttentionBase(Module):
             else:
                 pruned = data < threshold
             if valid4 is not None:
-                pruned &= np.broadcast_to(valid4, data.shape)
+                pruned &= valid4
             # the running-max register always survives: a row is never
             # pruned empty, matching the accelerator's back end
-            pruned &= ~(masked == row_max)
+            pruned &= masked != row_max
             self.stat_pruned += int(pruned.sum())
-            self.stat_valid += (int(np.broadcast_to(valid4, data.shape).sum())
+            # valid4 broadcasts over the head axis; count it arithmetically
+            self.stat_valid += (int(valid4.sum()) * data.shape[1]
                                 if valid4 is not None else data.size)
             if self.record_scores:
                 self.records.append(AttentionRecord(
@@ -146,9 +147,8 @@ class AttentionBase(Module):
                     keys=keys.copy() if (
                         self.record_qk and keys is not None) else None,
                 ))
-            drop = pruned if valid4 is None else (
-                pruned | ~np.broadcast_to(valid4, data.shape))
-            logits = F.where(~drop, scores, NEG_INF)
+            keep = ~pruned if valid4 is None else (~pruned & valid4)
+            logits = F.where(keep, scores, NEG_INF)
             return F.softmax(logits)
 
         # OFF
@@ -177,14 +177,41 @@ class PrunedSelfAttention(AttentionBase):
         return x.reshape(batch, seq, self.num_heads,
                          self.head_dim).transpose(0, 2, 1, 3)
 
+    def _scatter_append(self, kv_cache: dict, k: Tensor, v: Tensor
+                        ) -> tuple[Tensor, Tensor]:
+        """Write one decode step's K/V rows into per-stream slots of the
+        shared padded buffers and advance the recorded lengths."""
+        lengths = np.asarray(kv_cache["lengths"])
+        if k.shape[2] != 1:
+            raise ValueError("scatter kv_cache expects one new position "
+                             f"per step, got {k.shape[2]}")
+        buf_k, buf_v = kv_cache["k"], kv_cache["v"]
+        if int(lengths.max()) >= buf_k.shape[2]:
+            raise ValueError("kv_cache buffer capacity exhausted "
+                             f"({buf_k.shape[2]} slots)")
+        rows = np.arange(k.shape[0])
+        buf_k[rows, :, lengths] = k.data[:, :, 0]
+        buf_v[rows, :, lengths] = v.data[:, :, 0]
+        kv_cache["lengths"] = lengths + 1
+        return Tensor(buf_k), Tensor(buf_v)
+
     def forward(self, x: Tensor, valid: np.ndarray | None = None,
                 kv_cache: dict | None = None) -> Tensor:
         """``x``: (B, S, D).  ``valid``: (B, Sq, Sk) position mask.
 
-        ``kv_cache`` (decode path): dict with optional "k"/"v" arrays of
-        shape (B, H, S_hist, Dh); the new keys/values are appended and
-        attention runs with S_q = x's sequence length against the full
-        history.
+        ``kv_cache`` (decode path) supports two protocols:
+
+        * append — dict with optional "k"/"v" arrays of shape
+          (B, H, S_hist, Dh); the new keys/values are concatenated and
+          attention runs with S_q = x's sequence length against the
+          full history.
+        * scatter — dict with "k"/"v" float buffers (B, H, cap, Dh)
+          plus "lengths" (B,) per-stream history sizes.  This step's
+          single new K/V row is written at each stream's own length, so
+          streams of different ages coalesce into one padded batch
+          while every row keeps the exact bit pattern it would have
+          had served alone (histories stay left-aligned; the caller
+          masks positions past each length via ``valid``).
         """
         batch, seq, _ = x.shape
         q = self._split(self.wq(x), batch, seq)
@@ -192,11 +219,14 @@ class PrunedSelfAttention(AttentionBase):
         v = self._split(self.wv(x), batch, seq)
 
         if kv_cache is not None:
-            from ..tensor import concatenate
-            if "k" in kv_cache:
-                k = concatenate([kv_cache["k"], k], axis=2)
-                v = concatenate([kv_cache["v"], v], axis=2)
-            kv_cache["k"], kv_cache["v"] = k, v
+            if "lengths" in kv_cache:
+                k, v = self._scatter_append(kv_cache, k, v)
+            else:
+                from ..tensor import concatenate
+                if "k" in kv_cache:
+                    k = concatenate([kv_cache["k"], k], axis=2)
+                    v = concatenate([kv_cache["v"], v], axis=2)
+                kv_cache["k"], kv_cache["v"] = k, v
 
         scale = 1.0 / np.sqrt(self.head_dim)
         scores = (q @ k.swapaxes(-1, -2)) * scale

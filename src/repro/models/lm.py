@@ -83,6 +83,61 @@ class TransformerLM(Module):
     def finish_metric(total: float, count: int) -> float:
         return float(np.exp(total / max(count, 1)))
 
+    # -- batched serving primitives -------------------------------------
+    def prefill(self, tokens: np.ndarray,
+                lengths: np.ndarray | None = None
+                ) -> tuple[np.ndarray, list[dict]]:
+        """Run padded prompts once, filling per-block KV caches.
+
+        ``tokens``: (B, S) prompts left-aligned to a shared width;
+        ``lengths``: (B,) true prompt sizes (default: all S).  Returns
+        (next-token logits (B, V) taken at each prompt's own last
+        position, caches) where each cache holds "k"/"v" Tensors of
+        shape (B, H, S, Dh) — positions past a stream's length hold
+        padding garbage and must be sliced off before reuse.
+        """
+        tokens = np.asarray(tokens, dtype=np.int64)
+        batch, seq = tokens.shape
+        if lengths is None:
+            lengths = np.full(batch, seq, dtype=np.int64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        causal = np.tril(np.ones((seq, seq), dtype=bool))
+        present = np.arange(seq)[None, :] < lengths[:, None]
+        valid = (causal[None] & present[:, None, :] & present[:, :, None])
+        caches: list[dict] = [{} for _ in self.blocks]
+        with no_grad():
+            x = self.embed(tokens) + self.pos[:seq]
+            for block, cache in zip(self.blocks, caches):
+                x = block(x, valid, kv_cache=cache)
+            logits = self.head(self.ln_out(x)).data
+        return logits[np.arange(batch), lengths - 1], caches
+
+    def decode_step(self, tokens: np.ndarray,
+                    caches: list[dict]) -> np.ndarray:
+        """One coalesced decode step over concurrent streams.
+
+        ``tokens``: (B,) the latest token of each stream; ``caches``:
+        per-block scatter-protocol dicts ("k"/"v" float buffers
+        (B, H, cap, Dh), "lengths" (B,) history sizes — see
+        ``PrunedSelfAttention.forward``).  Buffers are updated in place
+        and lengths advanced.  Returns next-token logits (B, V).
+
+        Streams of different ages batch together: every row attends
+        over its own left-aligned history, masked past its length, so
+        logits are bit-identical to serving the stream alone.
+        """
+        tokens = np.asarray(tokens, dtype=np.int64)
+        lengths = np.asarray(caches[0]["lengths"])
+        capacity = caches[0]["k"].shape[2]
+        valid = (np.arange(capacity)[None, None, :]
+                 <= lengths[:, None, None])
+        with no_grad():
+            x = (self.embed(tokens[:, None])
+                 + Tensor(self.pos.data[lengths][:, None, :]))
+            for block, cache in zip(self.blocks, caches):
+                x = block(x, valid, kv_cache=cache)
+            return self.head(self.ln_out(x)).data[:, 0]
+
     # -- decode ---------------------------------------------------------
     def generate(self, prompt: np.ndarray, max_new_tokens: int,
                  greedy: bool = True,

@@ -113,10 +113,14 @@ class TransformerClassifier(Module):
         if mask is not None:
             weights = mask[:, :, None] / mask.sum(
                 axis=1, keepdims=True)[:, :, None]
-            pooled = (x * weights).sum(axis=1)
+            pooled = (x * weights).sum(axis=1, keepdims=True)
         else:
-            pooled = x.mean(axis=1)
-        return self.head(pooled)
+            pooled = x.mean(axis=1, keepdims=True)
+        # the head runs on (B, 1, D): stacked matmuls use the same
+        # per-item kernel at every batch size, so a request's logits do
+        # not depend on how many others were coalesced alongside it
+        out = self.head(pooled)
+        return out.reshape(out.shape[0], out.shape[-1])
 
     # -- task interface -------------------------------------------------
     def loss(self, batch) -> Tensor:

@@ -1,0 +1,15 @@
+"""Batched serving: async request queue + dynamic batcher with
+per-stream KV caches in front of ``PrunedInferenceEngine``."""
+
+from .aio import AsyncServingEngine
+from .batcher import BatchPolicy, CoalescedBatch, DynamicBatcher, \
+    QueuedRequest, coalesce
+from .engine import ServeResult, ServingEngine, ServingStats
+from .hardware import HardwareTotals, slice_record
+from .streams import StreamState, stack_caches, unstack_caches
+
+__all__ = ["AsyncServingEngine", "BatchPolicy", "CoalescedBatch",
+           "DynamicBatcher", "QueuedRequest", "coalesce", "ServeResult",
+           "ServingEngine", "ServingStats", "HardwareTotals",
+           "slice_record", "StreamState", "stack_caches",
+           "unstack_caches"]

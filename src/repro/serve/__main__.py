@@ -1,0 +1,121 @@
+"""Serving demo: ``python -m repro.serve``.
+
+Builds a small pruned classifier and a causal LM, pushes a burst of
+mixed-length requests / generation streams through the dynamic
+batcher, and prints per-request results plus aggregate hardware
+accounting (cycles and energy charged per request even though the
+traffic was served coalesced).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from ..core import PrunedInferenceEngine
+from ..models import (ClassifierConfig, LMConfig, TransformerClassifier,
+                      TransformerLM)
+from . import BatchPolicy, ServingEngine
+
+
+def build_classifier_engine(seed: int = 0) -> PrunedInferenceEngine:
+    model = TransformerClassifier(ClassifierConfig(
+        vocab_size=64, max_seq_len=24, dim=32, num_heads=2,
+        num_layers=2, num_classes=2, seed=seed))
+    controller = model.make_controller()
+    controller.set_threshold_values(np.zeros(2))
+    return PrunedInferenceEngine(model, controller)
+
+
+def build_lm_engine(seed: int = 0,
+                    max_seq_len: int = 32) -> PrunedInferenceEngine:
+    model = TransformerLM(LMConfig(
+        vocab_size=64, max_seq_len=max_seq_len, dim=32, num_heads=2,
+        num_layers=2, seed=seed))
+    controller = model.make_controller()
+    controller.set_threshold_values(np.zeros(2))
+    return PrunedInferenceEngine(model, controller)
+
+
+def classify_demo(args) -> None:
+    print("== one-shot classification traffic ==")
+    serving = ServingEngine(
+        build_classifier_engine(args.seed),
+        BatchPolicy(max_batch_size=args.max_batch_size,
+                    max_wait=args.max_wait),
+        estimate_hardware=True)
+    rng = np.random.default_rng(args.seed)
+    ids = [serving.submit(rng.integers(0, 64, size=int(length)))
+           for length in rng.integers(3, 25, size=args.requests)]
+    serving.drain()
+    for request_id in ids:
+        result = serving.finish(request_id)
+        hw = result.hardware
+        print(f"  request {request_id}: class {result.prediction}  "
+              f"batch of {result.batch_sizes[0]}  "
+              f"{hw.runtime_ns:8.1f} ns ({hw.speedup_vs_baseline:.2f}x "
+              f"vs baseline, pruning {hw.pruning_rate:.0%})")
+    stats = serving.stats
+    print(f"  -> {stats.completed} requests in {stats.batches} batches "
+          f"(mean size {stats.mean_batch_size:.1f}); traffic totals "
+          f"{stats.hardware.runtime_ns / 1e3:.1f} us, "
+          f"{stats.hardware.energy_pj / 1e6:.2f} uJ "
+          f"({stats.hardware.speedup_vs_baseline:.2f}x cycles, "
+          f"{stats.hardware.energy_reduction:.2f}x energy vs baseline)\n")
+
+
+def generate_demo(args) -> None:
+    print("== concurrent generation streams (per-stream KV caches) ==")
+    serving = ServingEngine(
+        build_lm_engine(args.seed),
+        BatchPolicy(max_batch_size=args.max_batch_size,
+                    max_wait=args.max_wait),
+        estimate_hardware=True)
+    rng = np.random.default_rng(args.seed)
+    ids = [serving.open_stream(rng.integers(1, 64, size=int(length)),
+                               max_new_tokens=args.new_tokens)
+           for length in rng.integers(1, 9, size=args.streams)]
+    steps = 0
+    while serving.has_pending():
+        serving.step()
+        steps += 1
+    for stream_id in ids:
+        result = serving.finish(stream_id)
+        hw = result.hardware
+        print(f"  stream {stream_id}: {len(result.tokens)} tokens "
+              f"{result.tokens[:8].tolist()}...  coalesced with up to "
+              f"{max(result.batch_sizes)} streams  "
+              f"{hw.runtime_ns:8.1f} ns ({hw.speedup_vs_baseline:.2f}x)")
+    stats = serving.stats
+    print(f"  -> {len(ids)} streams, {stats.decode_rounds} coalesced "
+          f"decode rounds over {steps} engine steps; traffic totals "
+          f"{stats.hardware.runtime_ns / 1e3:.1f} us "
+          f"({stats.hardware.speedup_vs_baseline:.2f}x cycles, "
+          f"{stats.hardware.energy_reduction:.2f}x energy vs baseline)")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="batched serving demo over the pruned engine")
+    parser.add_argument("--mode", choices=["classify", "generate", "both"],
+                        default="both")
+    parser.add_argument("--requests", type=int, default=12,
+                        help="one-shot requests to submit (classify)")
+    parser.add_argument("--streams", type=int, default=6,
+                        help="concurrent generation streams")
+    parser.add_argument("--new-tokens", type=int, default=8,
+                        help="tokens to generate per stream")
+    parser.add_argument("--max-batch-size", type=int, default=4)
+    parser.add_argument("--max-wait", type=float, default=0.002)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    if args.mode in ("classify", "both"):
+        classify_demo(args)
+    if args.mode in ("generate", "both"):
+        generate_demo(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Awaitable front door over the synchronous serving core.
+
+Concurrent clients ``await submit(...)``; a single runner task watches
+the arrival queue and steps the core engine whenever a batch fills or
+the oldest request's ``max_wait`` deadline passes — so requests from
+independent coroutines coalesce into shared batches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+
+from .engine import ServeResult, ServingEngine
+
+
+class AsyncServingEngine:
+    """asyncio wrapper: ``async with AsyncServingEngine(core) as s: ...``"""
+
+    def __init__(self, serving: ServingEngine, clock=time.monotonic):
+        self._serving = serving
+        self._clock = clock
+        self._futures: dict[int, asyncio.Future] = {}
+        self._wake: asyncio.Event | None = None
+        self._task: asyncio.Task | None = None
+        self._closed = False
+
+    async def __aenter__(self) -> "AsyncServingEngine":
+        self._wake = asyncio.Event()
+        self._task = asyncio.get_running_loop().create_task(self._run())
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._wake is not None:
+            self._wake.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+        for future in self._futures.values():
+            if not future.done():
+                future.cancel()
+        self._futures.clear()
+
+    async def submit(self, inputs: np.ndarray,
+                     mask: np.ndarray | None = None) -> ServeResult:
+        """Queue one request and wait for its result; requests from
+        concurrent tasks are dynamically batched together."""
+        if self._task is None:
+            raise RuntimeError("engine not started; use 'async with'")
+        request_id = self._serving.submit(inputs, mask)
+        future = asyncio.get_running_loop().create_future()
+        self._futures[request_id] = future
+        self._wake.set()
+        return await future
+
+    async def _run(self) -> None:
+        while not self._closed:
+            now = self._clock()
+            if self._serving.queue_ready(now):
+                self._step(lambda: self._serving.step(now))
+                continue
+            deadline = self._serving.next_deadline()
+            try:
+                if deadline is None:
+                    await self._wake.wait()
+                else:
+                    await asyncio.wait_for(self._wake.wait(),
+                                           max(deadline - now, 0.0))
+            except asyncio.TimeoutError:
+                pass
+            self._wake.clear()
+        # serve whatever is still queued before shutting down
+        self._step(self._serving.flush)
+
+    def _step(self, advance) -> None:
+        """Advance the core engine; a serve-time error must fail the
+        waiting clients, never silently kill the runner task.  Batch
+        errors are contained per request by the core, so the blanket
+        except only fires on scheduler-level bugs."""
+        try:
+            completed = advance()
+        except Exception as error:       # noqa: BLE001 — fanned out
+            for future in self._futures.values():
+                if not future.done():
+                    future.set_exception(error)
+            self._futures.clear()
+            return
+        for request_id in completed:
+            future = self._futures.pop(request_id, None)
+            try:
+                # always collect, even with no waiting future (client
+                # cancelled, or a blanket failure cleared it): finish()
+                # releases the engine-side result state
+                result = self._serving.finish(request_id)
+            except Exception as error:   # noqa: BLE001 — per-request
+                if future is not None and not future.done():
+                    future.set_exception(error)
+                continue
+            if future is not None and not future.done():
+                future.set_result(result)

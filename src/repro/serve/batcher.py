@@ -1,0 +1,177 @@
+"""Dynamic batching: arrival queue, wait policy, and request coalescing.
+
+The batcher is deliberately clock-agnostic — callers pass ``now`` — so
+property tests can drive it with a virtual clock and the asyncio front
+end can drive it with ``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Coalescing knobs.
+
+    ``max_batch_size``: flush as soon as this many requests are queued.
+    ``max_wait``: seconds a request may sit in the queue before the
+    batch is flushed anyway (the no-starvation bound).
+    ``pad_to``: fixed width every coalesced batch is padded to; None
+    lets the serving engine pick the model's ``max_seq_len``.  Padding
+    to a width that is a function of the request alone (never of the
+    batch) keeps every kernel shape independent of batch composition,
+    which is what makes a coalesced request bit-identical to the same
+    request served alone.
+    ``buckets``: optional ascending pad-width ladder.  Each request is
+    assigned the smallest bucket that fits it (falling back to
+    ``pad_to``) and only coalesces with requests of the same bucket,
+    so short requests stop paying the full-width padding tax without
+    giving up bit-stability.
+    """
+
+    max_batch_size: int = 8
+    max_wait: float = 0.002
+    pad_to: int | None = None
+    buckets: tuple[int, ...] | None = None
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait < 0:
+            raise ValueError("max_wait must be >= 0")
+        if self.buckets is not None:
+            object.__setattr__(self, "buckets",
+                               tuple(sorted(set(self.buckets))))
+            if any(b < 1 for b in self.buckets):
+                raise ValueError("buckets must be positive widths")
+
+    def bucket_for(self, length: int, pad_to: int) -> int:
+        """The fixed pad width a request of ``length`` is served at."""
+        if self.buckets is not None:
+            for bucket in self.buckets:
+                if length <= bucket <= pad_to:
+                    return bucket
+        return pad_to
+
+
+@dataclass
+class QueuedRequest:
+    """One waiting single-sequence request."""
+
+    request_id: int
+    inputs: np.ndarray              # (L,) token ids or (L, D) patches
+    mask: np.ndarray                # (L,) bool
+    arrival: float
+
+    @property
+    def length(self) -> int:
+        return self.inputs.shape[0]
+
+
+@dataclass
+class CoalescedBatch:
+    """Several requests padded into one fixed-width model batch."""
+
+    request_ids: list[int]
+    inputs: np.ndarray              # (B, pad_to[, D])
+    mask: np.ndarray                # (B, pad_to) bool
+    lengths: np.ndarray             # (B,) true lengths
+
+    def __len__(self) -> int:
+        return len(self.request_ids)
+
+
+class DynamicBatcher:
+    """Per-bucket FIFO queues with a size-or-deadline flush policy.
+
+    Requests queue under their own pad bucket (a single bucket unless
+    the policy sets a ladder).  A queue flushes when it reaches
+    ``max_batch_size`` or its oldest request has waited ``max_wait``;
+    pops always take a queue's oldest requests first, so no request is
+    starved by later arrivals.
+    """
+
+    def __init__(self, policy: BatchPolicy, pad_to: int):
+        self.policy = policy
+        self.pad_to = pad_to
+        self._queues: dict[int, deque[QueuedRequest]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def add(self, request: QueuedRequest) -> None:
+        bucket = self.policy.bucket_for(request.length, self.pad_to)
+        self._queues.setdefault(bucket, deque()).append(request)
+
+    def next_deadline(self) -> float | None:
+        """Earliest time any queue's oldest request must flush by."""
+        arrivals = [q[0].arrival for q in self._queues.values() if q]
+        if not arrivals:
+            return None
+        return min(arrivals) + self.policy.max_wait
+
+    def ready(self, now: float) -> bool:
+        return self._ready_bucket(now) is not None
+
+    def _ready_bucket(self, now: float) -> int | None:
+        """The due queue holding the oldest request, if any is due."""
+        best = None
+        best_arrival = None
+        for bucket, queue in self._queues.items():
+            if not queue:
+                continue
+            due = (len(queue) >= self.policy.max_batch_size
+                   or now >= queue[0].arrival + self.policy.max_wait)
+            if due and (best is None or queue[0].arrival < best_arrival):
+                best, best_arrival = bucket, queue[0].arrival
+        return best
+
+    def _oldest_bucket(self) -> int | None:
+        best = None
+        best_arrival = None
+        for bucket, queue in self._queues.items():
+            if queue and (best is None or queue[0].arrival < best_arrival):
+                best, best_arrival = bucket, queue[0].arrival
+        return best
+
+    def pop(self, now: float | None = None
+            ) -> tuple[int, list[QueuedRequest]]:
+        """Dequeue up to ``max_batch_size`` oldest requests from the
+        most urgent queue; returns (bucket width, requests)."""
+        bucket = None
+        if now is not None:
+            bucket = self._ready_bucket(now)
+        if bucket is None:
+            bucket = self._oldest_bucket()
+        if bucket is None:
+            return self.pad_to, []
+        queue = self._queues[bucket]
+        out = []
+        while queue and len(out) < self.policy.max_batch_size:
+            out.append(queue.popleft())
+        return bucket, out
+
+
+def coalesce(requests: list[QueuedRequest], pad_to: int) -> CoalescedBatch:
+    """Pad requests into one left-aligned (B, pad_to[, D]) batch."""
+    lengths = np.array([r.length for r in requests], dtype=np.int64)
+    over = lengths.max(initial=0)
+    if over > pad_to:
+        raise ValueError(f"request of length {over} exceeds pad_to={pad_to}")
+    first = requests[0].inputs
+    shape = (len(requests), pad_to) + first.shape[1:]
+    inputs = np.zeros(shape, dtype=first.dtype)
+    mask = np.zeros((len(requests), pad_to), dtype=bool)
+    for i, request in enumerate(requests):
+        if request.inputs.shape[1:] != first.shape[1:]:
+            raise ValueError("cannot coalesce requests with mismatched "
+                             "feature dimensions")
+        inputs[i, :request.length] = request.inputs
+        mask[i, :request.length] = request.mask
+    return CoalescedBatch(
+        request_ids=[r.request_id for r in requests],
+        inputs=inputs, mask=mask, lengths=lengths)

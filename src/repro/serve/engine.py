@@ -1,0 +1,365 @@
+"""Batched serving engine: concurrent streams over one pruned model.
+
+``ServingEngine`` fronts a :class:`~repro.core.PrunedInferenceEngine`
+with an arrival queue and a dynamic batcher.  Two request kinds share
+the submit/step/finish lifecycle:
+
+* one-shot classification requests (``submit``) — coalesced into
+  fixed-width padded batches under the ``BatchPolicy``;
+* autoregressive generation streams (``open_stream``) — prefilled in
+  coalesced batches, then decoded one token per ``step`` with
+  per-stream KV caches that are stacked into shared buffers for each
+  coalesced decode round and evicted when the stream finishes.
+
+Everything is bit-stable by construction: batches pad to a fixed
+width, per-stream histories stay left-aligned, and per-request
+hardware estimates are computed from per-request record slices — so a
+request's outputs, pruning masks, and cycle/energy estimates do not
+depend on which other requests happened to be coalesced with it.
+
+The core is synchronous and clock-injectable (tests drive a virtual
+clock); :mod:`repro.serve.aio` adds the awaitable front door.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .batcher import BatchPolicy, CoalescedBatch, DynamicBatcher, \
+    QueuedRequest, coalesce
+from .hardware import HardwareTotals, slice_record
+from .streams import StreamState, stack_caches, unstack_caches
+
+
+@dataclass
+class ServeResult:
+    """What ``finish`` hands back for one request or stream."""
+
+    request_id: int
+    kind: str                           # "classify" | "generate"
+    logits: np.ndarray                  # final logits (classify) or
+                                        # last-step logits (generate)
+    prediction: int | None = None       # classify argmax
+    tokens: np.ndarray | None = None    # generate: prompt + new tokens
+    hardware: object | None = None      # HardwareEstimate, if enabled
+    records: list | None = None         # per-request AttentionRecords
+    batch_sizes: list[int] = field(default_factory=list)
+    error: Exception | None = None      # serve-time failure, if any
+
+
+@dataclass
+class ServingStats:
+    """Aggregate view of the traffic served so far."""
+
+    completed: int = 0
+    batches: int = 0
+    coalesced_requests: int = 0
+    decode_rounds: int = 0
+    max_batch_size: int = 0
+    hardware: HardwareTotals = field(default_factory=HardwareTotals)
+
+    def record_batch(self, size: int) -> None:
+        self.batches += 1
+        self.coalesced_requests += size
+        self.max_batch_size = max(self.max_batch_size, size)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.coalesced_requests / max(self.batches, 1)
+
+
+class ServingEngine:
+    """Dynamic-batching front end over a ``PrunedInferenceEngine``."""
+
+    def __init__(self, engine, policy: BatchPolicy | None = None,
+                 estimate_hardware: bool = False, hw_config=None,
+                 clock=time.monotonic):
+        self.engine = engine
+        self.policy = policy or BatchPolicy()
+        self._estimate_hw = estimate_hardware
+        self._hw_config = hw_config
+        self._clock = clock
+        config = getattr(engine.model, "config", None)
+        max_seq_len = getattr(config, "max_seq_len", None)
+        if self.policy.pad_to is not None:
+            self._pad_to = self.policy.pad_to
+        elif max_seq_len is not None:
+            self._pad_to = max_seq_len
+        else:
+            raise ValueError("model config has no max_seq_len; "
+                             "set BatchPolicy.pad_to explicitly")
+        if max_seq_len is not None and self._pad_to > max_seq_len:
+            raise ValueError(f"BatchPolicy.pad_to={self._pad_to} exceeds "
+                             f"the model's max_seq_len={max_seq_len}")
+        self._capacity = max_seq_len or self._pad_to
+        # prompts prefill at a fixed width like any padded batch; a
+        # pad_to below max_seq_len keeps short-prompt prefill cheap
+        # while decode buffers still span the full capacity
+        self._prefill_width = min(self._pad_to, self._capacity)
+        self._per_position = getattr(config, "head", None) == "span"
+        self._batcher = DynamicBatcher(self.policy, self._pad_to)
+        self._pending_streams: list[StreamState] = []
+        self._streams: dict[int, StreamState] = {}
+        self._results: dict[int, ServeResult] = {}
+        self._next_id = 0
+        self.stats = ServingStats()
+
+    # -- submission -----------------------------------------------------
+    def submit(self, inputs: np.ndarray, mask: np.ndarray | None = None,
+               now: float | None = None) -> int:
+        """Queue one single-sequence classification request; returns
+        its id.  ``inputs``: (L,) tokens or (L, D) patch features."""
+        inputs = np.asarray(inputs)
+        if inputs.ndim not in (1, 2):
+            raise ValueError("submit takes one sequence per request: "
+                             f"(L,) or (L, D), got shape {inputs.shape}")
+        if not 0 < inputs.shape[0] <= self._pad_to:
+            # reject here, not at step() time — a bad request must never
+            # take down the batch it would have been coalesced into
+            raise ValueError(f"request length {inputs.shape[0]} outside "
+                             f"[1, {self._pad_to}]")
+        mask = (np.ones(inputs.shape[0], dtype=bool) if mask is None
+                else np.asarray(mask, dtype=bool))
+        request = QueuedRequest(
+            request_id=self._allocate_id(), inputs=inputs, mask=mask,
+            arrival=self._clock() if now is None else now)
+        self._batcher.add(request)
+        return request.request_id
+
+    def open_stream(self, prompt: np.ndarray, max_new_tokens: int,
+                    now: float | None = None) -> int:
+        """Open an autoregressive generation stream (causal-LM engines
+        only); ``prompt``: (L,) token ids."""
+        if not hasattr(self.engine.model, "decode_step"):
+            raise TypeError("model does not support incremental decode; "
+                            "open_stream needs a causal LM")
+        if max_new_tokens < 1:
+            raise ValueError("max_new_tokens must be >= 1")
+        prompt = np.asarray(prompt, dtype=np.int64).reshape(-1)
+        limit = min(self._prefill_width, self._capacity - 1)
+        if prompt.size == 0 or prompt.size > limit:
+            raise ValueError(f"prompt length must be in [1, {limit}]")
+        stream = StreamState(
+            stream_id=self._allocate_id(), tokens=prompt.copy(),
+            max_new_tokens=max_new_tokens,
+            arrival=self._clock() if now is None else now)
+        self._pending_streams.append(stream)
+        self._streams[stream.stream_id] = stream
+        return stream.stream_id
+
+    # -- queue introspection (used by the asyncio front end) ------------
+    def next_deadline(self) -> float | None:
+        return self._batcher.next_deadline()
+
+    def queue_ready(self, now: float) -> bool:
+        return self._batcher.ready(now)
+
+    def has_pending(self) -> bool:
+        return bool(len(self._batcher) or self._pending_streams
+                    or any(not s.done for s in self._streams.values()))
+
+    # -- advancing ------------------------------------------------------
+    def step(self, now: float | None = None) -> list[int]:
+        """One scheduling round: flush every due classification batch,
+        prefill newly opened streams, decode one token for every live
+        stream.  Returns ids completed during this step."""
+        now = self._clock() if now is None else now
+        completed: list[int] = []
+        while self._batcher.ready(now):
+            completed += self._serve_classify(*self._batcher.pop(now))
+        completed += self._prefill_pending()
+        completed += self._decode_round()
+        return completed
+
+    def flush(self) -> list[int]:
+        """Serve the waiting classification queue immediately,
+        ignoring ``max_wait``."""
+        completed: list[int] = []
+        while len(self._batcher):
+            completed += self._serve_classify(*self._batcher.pop())
+        return completed
+
+    def drain(self) -> list[int]:
+        """Run everything pending to completion (demo / test helper)."""
+        completed = self.flush()
+        while self._pending_streams or any(
+                not s.done for s in self._streams.values()):
+            completed += self._prefill_pending()
+            completed += self._decode_round()
+        return completed
+
+    # -- completion -----------------------------------------------------
+    def result(self, request_id: int) -> ServeResult | None:
+        """Peek at a finished request's result (None while pending)."""
+        return self._results.get(request_id)
+
+    def finish(self, request_id: int) -> ServeResult:
+        """Collect a result and release all of its state (raising the
+        serve-time error, if the request failed).  Finishing a live
+        generation stream stops it early and evicts its caches."""
+        if request_id in self._results:
+            self._streams.pop(request_id, None)
+            result = self._results.pop(request_id)
+            if result.error is not None:
+                raise result.error
+            return result
+        stream = self._streams.get(request_id)
+        if stream is None:
+            raise KeyError(f"unknown or still-queued request "
+                           f"{request_id}")
+        self._pending_streams = [s for s in self._pending_streams
+                                 if s.stream_id != request_id]
+        self._finalize_stream(stream)
+        self._streams.pop(request_id, None)
+        return self._results.pop(request_id)
+
+    # -- internals ------------------------------------------------------
+    def _allocate_id(self) -> int:
+        self._next_id += 1
+        return self._next_id - 1
+
+    def _serve_classify(self, bucket: int,
+                        requests: list[QueuedRequest]) -> list[int]:
+        try:
+            batch: CoalescedBatch = coalesce(requests, bucket)
+            predictions, logits, records = self.engine.predict_many(
+                batch.inputs, batch.mask,
+                collect_records=self._estimate_hw)
+        except Exception as error:       # noqa: BLE001
+            # fail exactly this batch's requests; traffic queued in
+            # other buckets/batches must keep flowing
+            completed = []
+            for request in requests:
+                self._results[request.request_id] = ServeResult(
+                    request_id=request.request_id, kind="classify",
+                    logits=np.zeros(0), error=error)
+                self.stats.completed += 1
+                completed.append(request.request_id)
+            return completed
+        self.stats.record_batch(len(requests))
+        completed = []
+        for i, request in enumerate(requests):
+            length = int(batch.lengths[i])
+            estimate = sliced = None
+            if records is not None:
+                sliced = [slice_record(r, i, length, length)
+                          for r in records]
+                estimate = self.engine.estimate_from_records(
+                    sliced, self._hw_config)
+                self.stats.hardware.add(estimate)
+            if self._per_position:
+                row = logits[i, :length].copy()
+                prediction = int(row.argmax())
+            else:
+                row = logits[i].copy()
+                prediction = int(predictions[i])
+            self._results[request.request_id] = ServeResult(
+                request_id=request.request_id, kind="classify",
+                logits=row, prediction=prediction, hardware=estimate,
+                records=sliced, batch_sizes=[len(requests)])
+            self.stats.completed += 1
+            completed.append(request.request_id)
+        return completed
+
+    def _forward(self, forward):
+        """Run a model call, capturing attention records when hardware
+        accounting is on."""
+        if self._estimate_hw:
+            return self.engine.run_recorded(forward)
+        from ..tensor import no_grad
+        with no_grad():
+            return forward(), None
+
+    def _prefill_pending(self) -> list[int]:
+        completed: list[int] = []
+        while self._pending_streams:
+            chunk = self._pending_streams[:self.policy.max_batch_size]
+            self._pending_streams = \
+                self._pending_streams[self.policy.max_batch_size:]
+            completed += self._prefill(chunk)
+        return completed
+
+    def _prefill(self, streams: list[StreamState]) -> list[int]:
+        model = self.engine.model
+        lengths = np.array([s.length for s in streams], dtype=np.int64)
+        tokens = np.zeros((len(streams), self._prefill_width),
+                          dtype=np.int64)
+        for i, stream in enumerate(streams):
+            tokens[i, :stream.length] = stream.tokens
+        (logits, caches), records = self._forward(
+            lambda: model.prefill(tokens, lengths))
+        self.stats.record_batch(len(streams))
+        completed = []
+        for i, stream in enumerate(streams):
+            size = int(lengths[i])
+            stream.caches = [
+                {"k": cache["k"].data[i, :, :size].copy(),
+                 "v": cache["v"].data[i, :, :size].copy()}
+                for cache in caches]
+            if records is not None:
+                stream.add_records(
+                    [slice_record(r, i, size, size) for r in records])
+            stream.batch_sizes.append(len(streams))
+            stream.append(int(logits[i].argmax()))
+            stream.last_logits = logits[i].copy()
+            if self._stream_exhausted(stream):
+                self._finalize_stream(stream)
+                completed.append(stream.stream_id)
+        return completed
+
+    def _decode_round(self) -> list[int]:
+        live = [s for s in self._streams.values()
+                if not s.done and s.caches is not None]
+        live.sort(key=lambda s: s.stream_id)
+        completed: list[int] = []
+        model = self.engine.model
+        size = self.policy.max_batch_size
+        for start in range(0, len(live), size):
+            chunk = live[start:start + size]
+            caches = stack_caches(chunk, self._capacity,
+                                  len(model.blocks))
+            last = np.array([s.tokens[-1] for s in chunk],
+                            dtype=np.int64)
+            histories = [int(n) for n in caches[0]["lengths"]]
+            logits, records = self._forward(
+                lambda: model.decode_step(last, caches))
+            unstack_caches(chunk, caches)
+            self.stats.decode_rounds += 1
+            self.stats.record_batch(len(chunk))
+            for i, stream in enumerate(chunk):
+                if records is not None:
+                    stream.add_records(
+                        [slice_record(r, i, 1, histories[i] + 1)
+                         for r in records])
+                stream.batch_sizes.append(len(chunk))
+                stream.append(int(logits[i].argmax()))
+                stream.last_logits = logits[i].copy()
+                if self._stream_exhausted(stream):
+                    self._finalize_stream(stream)
+                    completed.append(stream.stream_id)
+        return completed
+
+    def _stream_exhausted(self, stream: StreamState) -> bool:
+        return (stream.new_tokens >= stream.max_new_tokens
+                or stream.length >= self._capacity)
+
+    def _finalize_stream(self, stream: StreamState) -> None:
+        stream.done = True
+        estimate = None
+        if self._estimate_hw and stream.records_by_layer:
+            estimate = self.engine.estimate_from_records(
+                stream.flat_records(), self._hw_config)
+            self.stats.hardware.add(estimate)
+        stream.evict()
+        self.stats.completed += 1
+        self._results[stream.stream_id] = ServeResult(
+            request_id=stream.stream_id, kind="generate",
+            logits=(stream.last_logits if stream.last_logits is not None
+                    else np.zeros(0)),
+            tokens=stream.tokens.copy(), hardware=estimate,
+            records=(stream.flat_records()
+                     if stream.records_by_layer else None),
+            batch_sizes=list(stream.batch_sizes))

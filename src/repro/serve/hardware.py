@@ -1,0 +1,71 @@
+"""Per-request hardware accounting for coalesced batches.
+
+``estimate_hardware`` on the core engine simulates whatever records a
+forward captured.  Under serving, one forward covers many requests, so
+the records are (B, H, Sq, Sk) with padding; this module slices out a
+single request's rows — trimmed to its true lengths — so the tile
+simulator sees exactly the jobs a solo run of that request would have
+produced, and aggregates the resulting per-request estimates into
+traffic totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.engine import HardwareEstimate
+from ..models.attention import AttentionRecord
+
+
+def slice_record(record: AttentionRecord, item: int, q_length: int,
+                 k_length: int) -> AttentionRecord:
+    """Extract one request's slice of a coalesced attention record.
+
+    ``q_length``/``k_length`` are the request's true query/key extents
+    (equal for prefill; 1 and history+1 for a decode step).  Arrays are
+    copied so the slice outlives the batch's reused buffers.
+    """
+
+    def take4(array, rows, cols):          # (B, H, rows, cols)
+        if array is None:
+            return None
+        return array[item:item + 1, :, :rows, :cols].copy()
+
+    return AttentionRecord(
+        layer_index=record.layer_index,
+        scores=take4(record.scores, q_length, k_length),
+        pruned_mask=take4(record.pruned_mask, q_length, k_length),
+        threshold=record.threshold,
+        valid=(None if record.valid is None else
+               record.valid[item:item + 1, :q_length, :k_length].copy()),
+        queries=(None if record.queries is None else
+                 record.queries[item:item + 1, :, :q_length].copy()),
+        keys=(None if record.keys is None else
+              record.keys[item:item + 1, :, :k_length].copy()),
+    )
+
+
+@dataclass
+class HardwareTotals:
+    """Cycles/energy aggregated across all served requests."""
+
+    requests: int = 0
+    runtime_ns: float = 0.0
+    baseline_runtime_ns: float = 0.0
+    energy_pj: float = 0.0
+    baseline_energy_pj: float = 0.0
+
+    def add(self, estimate: HardwareEstimate) -> None:
+        self.requests += 1
+        self.runtime_ns += estimate.runtime_ns
+        self.baseline_runtime_ns += estimate.baseline_runtime_ns
+        self.energy_pj += estimate.energy_pj
+        self.baseline_energy_pj += estimate.baseline_energy_pj
+
+    @property
+    def speedup_vs_baseline(self) -> float:
+        return self.baseline_runtime_ns / max(self.runtime_ns, 1e-12)
+
+    @property
+    def energy_reduction(self) -> float:
+        return self.baseline_energy_pj / max(self.energy_pj, 1e-12)

@@ -1,0 +1,94 @@
+"""Per-stream decode state: token history, KV caches, eviction.
+
+A stream's KV cache is stored unpadded — one (H, length, Dh) array per
+transformer block — and only exists while the stream is live.  Each
+coalesced decode step stacks the participating streams into shared
+fixed-capacity buffers (left-aligned, zero-padded) for the model's
+scatter-protocol ``decode_step``, then slices the updated histories
+back out.  Zero padding beyond each stream's length is exact under the
+masked attention math, so a stream's rows carry the same bit patterns
+regardless of which other streams were coalesced with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class StreamState:
+    """One live generation stream."""
+
+    stream_id: int
+    tokens: np.ndarray                  # prompt + generated so far
+    max_new_tokens: int
+    arrival: float
+    new_tokens: int = 0
+    caches: list[dict] | None = None    # per block {"k","v": (H, len, Dh)}
+    last_logits: np.ndarray | None = None
+    # layer-major record accumulation mirrors the solo collection order
+    # (all of layer 0's steps, then layer 1's, ...), so per-stream
+    # hardware estimates see jobs in the same order as a solo run
+    records_by_layer: dict[int, list] = field(default_factory=dict)
+    batch_sizes: list[int] = field(default_factory=list)
+    done: bool = False
+
+    @property
+    def length(self) -> int:
+        return int(self.tokens.shape[0])
+
+    def append(self, token: int) -> None:
+        self.tokens = np.append(self.tokens, np.int64(token))
+        self.new_tokens += 1
+
+    def add_records(self, records) -> None:
+        for record in records:
+            self.records_by_layer.setdefault(record.layer_index,
+                                             []).append(record)
+
+    def flat_records(self) -> list:
+        return [record
+                for layer in sorted(self.records_by_layer)
+                for record in self.records_by_layer[layer]]
+
+    def evict(self) -> None:
+        """Drop the KV caches; the stream keeps only its tokens."""
+        self.caches = None
+
+
+def stack_caches(streams: list[StreamState], capacity: int,
+                 num_blocks: int) -> list[dict]:
+    """Stack per-stream caches into shared scatter-protocol buffers.
+
+    Returns one dict per block: "k"/"v" float buffers of shape
+    (B, H, capacity, Dh) with each stream's history left-aligned at
+    row ``b``, plus "lengths" (B,).
+    """
+    lengths = np.array([s.caches[0]["k"].shape[1] for s in streams],
+                       dtype=np.int64)
+    heads, _, head_dim = streams[0].caches[0]["k"].shape
+    batched: list[dict] = []
+    for block in range(num_blocks):
+        buf_k = np.zeros((len(streams), heads, capacity, head_dim))
+        buf_v = np.zeros_like(buf_k)
+        for b, stream in enumerate(streams):
+            cache = stream.caches[block]
+            size = cache["k"].shape[1]
+            buf_k[b, :, :size] = cache["k"]
+            buf_v[b, :, :size] = cache["v"]
+        batched.append({"k": buf_k, "v": buf_v, "lengths": lengths.copy()})
+    return batched
+
+
+def unstack_caches(streams: list[StreamState],
+                   batched: list[dict]) -> None:
+    """Slice each stream's grown history back out of the shared
+    buffers after a decode step (lengths were advanced in place)."""
+    lengths = batched[0]["lengths"]
+    for b, stream in enumerate(streams):
+        size = int(lengths[b])
+        stream.caches = [{"k": cache["k"][b, :, :size].copy(),
+                          "v": cache["v"][b, :, :size].copy()}
+                         for cache in batched]

@@ -1,0 +1,70 @@
+"""Engine save/load metadata parsing: the shared ``read_metadata``
+helper behind ``load`` and ``from_directory``, and the error paths
+when a directory's metadata is unusable."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import PrunedInferenceEngine
+from tests.test_serving import make_classifier_engine
+
+
+@pytest.fixture
+def saved_engine(tmp_path):
+    engine = make_classifier_engine(0)
+    engine.controller.set_threshold_values(np.array([0.25, -0.5]))
+    directory = str(tmp_path / "engine")
+    engine.save(directory)
+    return engine, directory
+
+
+def test_read_metadata_is_shared_by_both_loaders(saved_engine):
+    engine, directory = saved_engine
+    meta = PrunedInferenceEngine.read_metadata(directory)
+    assert meta["model_class"] == "TransformerClassifier"
+    assert meta["thresholds"] == [0.25, -0.5]
+    assert meta["model_config"]["max_seq_len"] == 24
+
+    rebuilt = PrunedInferenceEngine.from_directory(directory)
+    np.testing.assert_array_equal(
+        rebuilt.controller.threshold_values(), [0.25, -0.5])
+
+    fresh = make_classifier_engine(1)
+    fresh.load(directory)
+    np.testing.assert_array_equal(
+        fresh.controller.threshold_values(), [0.25, -0.5])
+    for name, value in fresh.model.state_dict().items():
+        np.testing.assert_array_equal(value,
+                                      engine.model.state_dict()[name])
+
+
+def test_unknown_model_class_error_message(saved_engine):
+    _, directory = saved_engine
+    path = os.path.join(directory, "engine.json")
+    with open(path) as fh:
+        meta = json.load(fh)
+    meta["model_class"] = "BogusNet"
+    with open(path, "w") as fh:
+        json.dump(meta, fh)
+    with pytest.raises(ValueError) as excinfo:
+        PrunedInferenceEngine.from_directory(directory)
+    message = str(excinfo.value)
+    assert "unknown model class 'BogusNet'" in message
+    # the message lists what would have been accepted
+    for known in ("MemN2N", "TransformerClassifier", "TransformerLM"):
+        assert known in message
+
+
+def test_missing_model_config_error_message(saved_engine):
+    _, directory = saved_engine
+    path = os.path.join(directory, "engine.json")
+    with open(path) as fh:
+        meta = json.load(fh)
+    meta["model_config"] = None
+    with open(path, "w") as fh:
+        json.dump(meta, fh)
+    with pytest.raises(ValueError, match="predates model-config"):
+        PrunedInferenceEngine.from_directory(directory)

@@ -1,0 +1,217 @@
+"""Property-style serving queue tests: the wait-bound flush (no
+starvation), FIFO pops, KV-cache eviction on completion/finish, and
+schedule-independent results — all driven by a virtual clock."""
+
+import asyncio
+
+import numpy as np
+
+from repro.serve import AsyncServingEngine, BatchPolicy, ServingEngine
+from tests.test_serving import make_classifier_engine, make_lm_engine
+
+
+def make_clocked(engine, max_batch_size, max_wait):
+    clock = [0.0]
+    serving = ServingEngine(
+        engine, BatchPolicy(max_batch_size=max_batch_size,
+                            max_wait=max_wait),
+        clock=lambda: clock[0])
+    return serving, clock
+
+
+def test_no_starvation_lone_request_flushes_at_deadline():
+    serving, clock = make_clocked(make_classifier_engine(0),
+                                  max_batch_size=8, max_wait=1.0)
+    rng = np.random.default_rng(0)
+    request_id = serving.submit(rng.integers(0, 50, size=5))
+    assert serving.step() == []            # t=0: not full, not due
+    clock[0] = 0.99
+    assert serving.step() == []            # still inside max_wait
+    clock[0] = 1.0
+    assert serving.step() == [request_id]  # deadline flush, batch of 1
+    assert serving.finish(request_id).batch_sizes == [1]
+
+
+def test_no_starvation_under_continuous_arrivals():
+    """New arrivals never push the oldest request past its deadline:
+    pops are FIFO, so the oldest request leaves in the next flush."""
+    serving, clock = make_clocked(make_classifier_engine(0),
+                                  max_batch_size=4, max_wait=0.5)
+    rng = np.random.default_rng(1)
+    oldest = serving.submit(rng.integers(0, 50, size=6))
+    served_at = None
+    for tick in range(1, 20):
+        clock[0] = tick * 0.1
+        serving.submit(rng.integers(0, 50, size=6))
+        done = serving.step()
+        if oldest in done:
+            served_at = clock[0]
+            break
+    assert served_at is not None and served_at <= 0.5 + 0.1
+    result = serving.finish(oldest)
+    assert result.prediction is not None
+
+
+def test_full_batch_flushes_immediately_and_fifo_order():
+    serving, clock = make_clocked(make_classifier_engine(0),
+                                  max_batch_size=4, max_wait=100.0)
+    rng = np.random.default_rng(2)
+    ids = [serving.submit(rng.integers(0, 50, size=4)) for _ in range(10)]
+    done = serving.step()                  # two full batches, no wait
+    assert done == ids[:8]
+    assert serving.finish(ids[0]).batch_sizes == [4]
+    assert serving.step() == []            # remaining 2 wait for deadline
+    clock[0] = 100.0
+    assert serving.step() == ids[8:]
+    assert serving.finish(ids[9]).batch_sizes == [2]
+
+
+def test_stream_caches_evicted_on_completion():
+    serving, _ = make_clocked(make_lm_engine(0), 4, 0.0)
+    rng = np.random.default_rng(3)
+    ids = [serving.open_stream(rng.integers(1, 40, size=3),
+                               max_new_tokens=4) for _ in range(3)]
+    serving.step()                         # prefill + first decode round
+    live = [serving._streams[i] for i in ids]
+    assert all(s.caches is not None for s in live)
+    serving.drain()
+    assert all(s.caches is None for s in live)   # evicted at completion
+    for stream_id in ids:
+        assert len(serving.finish(stream_id).tokens) == 3 + 4
+    assert serving._streams == {}          # finish released all state
+
+
+def test_finish_stops_stream_early_and_evicts():
+    serving, _ = make_clocked(make_lm_engine(0), 4, 0.0)
+    rng = np.random.default_rng(4)
+    stream_id = serving.open_stream(rng.integers(1, 40, size=4),
+                                    max_new_tokens=20)
+    serving.step()                         # prefill (+1) and decode (+1)
+    state = serving._streams[stream_id]
+    assert state.caches is not None
+    result = serving.finish(stream_id)     # client hangs up early
+    assert state.caches is None
+    assert len(result.tokens) == 4 + 2
+    assert serving._streams == {}
+    assert not serving.has_pending()
+
+
+def test_results_deterministic_across_arrival_interleavings():
+    """The same request set yields bit-identical per-request results
+    whatever the arrival order, gaps, and batch compositions."""
+    rng = np.random.default_rng(5)
+    requests = [rng.integers(0, 50, size=int(n))
+                for n in rng.integers(2, 25, size=9)]
+    prompts = [rng.integers(1, 40, size=int(n))
+               for n in rng.integers(1, 8, size=4)]
+
+    def run_schedule(order, gap):
+        serving, clock = make_clocked(make_classifier_engine(0), 4, 0.05)
+        lm, _ = make_clocked(make_lm_engine(0), 3, 0.0)
+        ids = {}
+        for step, index in enumerate(order):
+            clock[0] = step * gap
+            ids[index] = serving.submit(requests[index])
+            serving.step()
+        clock[0] += 1.0
+        serving.step()
+        stream_ids = {i: lm.open_stream(p, 5)
+                      for i, p in enumerate(prompts)}
+        lm.drain()
+        return ({i: serving.finish(r) for i, r in ids.items()},
+                {i: lm.finish(r) for i, r in stream_ids.items()})
+
+    base_cls, base_lm = run_schedule(list(range(9)), 0.0)
+    shuffled = [4, 0, 8, 2, 6, 1, 7, 3, 5]
+    for order, gap in [(list(range(9)), 0.03), (shuffled, 0.0),
+                       (shuffled, 0.06)]:
+        got_cls, got_lm = run_schedule(order, gap)
+        for i in range(9):
+            np.testing.assert_array_equal(got_cls[i].logits,
+                                          base_cls[i].logits)
+        for i in range(4):
+            np.testing.assert_array_equal(got_lm[i].tokens,
+                                          base_lm[i].tokens)
+
+
+def test_oversized_request_rejected_at_submit():
+    """A bad request must fail at submit, never poison the batch it
+    would have been coalesced into."""
+    import pytest
+    serving, clock = make_clocked(make_classifier_engine(0), 4, 0.0)
+    rng = np.random.default_rng(7)
+    good = serving.submit(rng.integers(0, 50, size=5))
+    with pytest.raises(ValueError, match="request length 40"):
+        serving.submit(rng.integers(0, 50, size=40))
+    with pytest.raises(ValueError, match="request length 0"):
+        serving.submit(np.zeros(0, dtype=np.int64))
+    assert serving.step() == [good]        # neighbour still served
+
+
+def test_pad_to_beyond_model_capacity_rejected():
+    import pytest
+    from repro.serve import BatchPolicy, ServingEngine
+    with pytest.raises(ValueError, match="pad_to=40 exceeds"):
+        ServingEngine(make_classifier_engine(0),
+                      BatchPolicy(pad_to=40))
+
+
+def test_async_serve_error_fails_clients_not_runner():
+    """A serve-time error must propagate to the awaiting clients; the
+    runner keeps serving later traffic."""
+
+    from types import SimpleNamespace
+
+    class ExplodingEngine:
+        def __init__(self):
+            self.model = SimpleNamespace(
+                config=SimpleNamespace(max_seq_len=8))
+            self.calls = 0
+
+        def predict_many(self, inputs, mask, collect_records=False):
+            self.calls += 1
+            if self.calls == 1:
+                raise RuntimeError("model exploded")
+            logits = np.zeros((inputs.shape[0], 2))
+            return logits.argmax(-1), logits, None
+
+    engine = ExplodingEngine()
+    serving = ServingEngine(engine, BatchPolicy(max_batch_size=2,
+                                                max_wait=0.005))
+
+    async def main():
+        async with AsyncServingEngine(serving) as front:
+            first = await asyncio.gather(
+                front.submit(np.arange(3)), front.submit(np.arange(4)),
+                return_exceptions=True)
+            retry = await front.submit(np.arange(3))
+            return first, retry
+
+    first, retry = asyncio.run(main())
+    assert all(isinstance(r, RuntimeError) for r in first)
+    assert retry.prediction == 0           # runner survived the error
+
+
+def test_async_concurrent_clients_coalesce():
+    engine = make_classifier_engine(0)
+    rng = np.random.default_rng(6)
+    requests = [rng.integers(0, 50, size=int(n))
+                for n in rng.integers(2, 25, size=6)]
+    # solo references through the same stack
+    from tests.test_serving import serve_classify
+    solo, _ = serve_classify(engine, requests, max_batch_size=1)
+
+    serving = ServingEngine(engine, BatchPolicy(max_batch_size=4,
+                                                max_wait=0.01))
+
+    async def main():
+        async with AsyncServingEngine(serving) as front:
+            return await asyncio.gather(
+                *[front.submit(r) for r in requests])
+
+    results = asyncio.run(main())
+    for got, expected in zip(results, solo):
+        np.testing.assert_array_equal(got.logits, expected.logits)
+        assert got.prediction == expected.prediction
+    assert serving.stats.max_batch_size >= 2   # coalescing happened
+    assert serving.stats.completed == len(requests)
