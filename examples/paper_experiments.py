@@ -11,10 +11,12 @@ Run:
     python examples/paper_experiments.py table1 fig12        # instant
     python examples/paper_experiments.py fig7 fig9 fig10     # trains subset
     python examples/paper_experiments.py fig7 --jobs 4 --cache-dir store
+    python examples/paper_experiments.py fig7 --suite 'bert*'  # by suite glob
     python examples/paper_experiments.py --full all          # 43 tasks
 """
 
 import argparse
+import os
 import sys
 import tempfile
 import time
@@ -24,7 +26,8 @@ from repro.eval.experiments import (ALL_EXPERIMENTS,
                                     STATIC_EXPERIMENTS, required_workloads)
 from repro.eval.runner import WorkloadCache
 from repro.eval.store import WorkloadStore
-from repro.eval.workloads import QUICK, WORKLOADS, list_workloads
+from repro.eval.workloads import (QUICK, WORKLOADS, list_suites,
+                                  list_workloads)
 
 
 def _parse_args(argv):
@@ -38,6 +41,13 @@ def _parse_args(argv):
     parser.add_argument("--workloads", default=None,
                         help="comma-separated workload names overriding "
                              "the representative subset")
+    parser.add_argument("--suite", default=None,
+                        help="run every workload whose suite matches "
+                             "this glob (e.g. memn2n, 'bert*') — same "
+                             "selection as python -m repro.eval.sweep")
+    parser.add_argument("--kernel-backend", default=None,
+                        help="bit-serial kernel backend for all "
+                             "hardware simulation (repro.hw.backends)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="parallel training worker processes for the "
                              "workload sweep")
@@ -60,6 +70,11 @@ def _parse_args(argv):
                      f"Valid names: {', '.join(sorted(ALL_EXPERIMENTS))} "
                      "(or 'all').")
 
+    if args.workloads and args.suite:
+        parser.error("--workloads and --suite are mutually exclusive")
+    if args.full and args.suite:
+        parser.error("--full and --suite are mutually exclusive "
+                     "(--suite already picks the workload set)")
     if args.workloads:
         workloads = [w.strip() for w in args.workloads.split(",")
                      if w.strip()]
@@ -68,10 +83,25 @@ def _parse_args(argv):
             parser.error(
                 f"unknown workloads: {', '.join(bad)}. Valid names: "
                 f"{', '.join(list_workloads())}")
+    elif args.suite:
+        workloads = list_workloads(args.suite)
+        if not workloads:
+            parser.error(f"suite glob {args.suite!r} matches nothing; "
+                         "valid suites: " + ", ".join(list_suites()))
     elif args.full:
         workloads = list_workloads()          # the full 43-task registry
     else:
         workloads = list(REPRESENTATIVE_WORKLOADS)
+
+    if args.kernel_backend:
+        from repro.hw import get_backend
+        try:
+            get_backend(args.kernel_backend)  # fail fast on a typo
+        except KeyError as error:
+            parser.error(str(error))
+        # the env var reaches every TileSimulator in this process and
+        # in --jobs worker processes alike
+        os.environ["REPRO_KERNEL_BACKEND"] = args.kernel_backend
 
     if args.no_cache and args.cache_dir:
         parser.error("--no-cache and --cache-dir are mutually exclusive")
@@ -105,7 +135,7 @@ def main(argv=None):
 
 def _run(args, names, workloads, store):
     cache = WorkloadCache(store)
-    explicit = args.workloads is not None
+    explicit = args.workloads is not None or args.suite is not None
     if explicit and ({"fig2", "baselines"} & set(names)):
         print("[note] fig2/baselines always use the default workload "
               "(bert_base_glue/G-QNLI); --workloads does not apply\n")

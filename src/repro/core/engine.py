@@ -35,6 +35,9 @@ class HardwareEstimate:
     # across coalesced batches, not just per-batch ratios
     energy_pj: float = 0.0
     baseline_energy_pj: float = 0.0
+    # which kernel backend (repro.hw.backends) produced the estimate —
+    # serving metadata keeps hardware numbers attributable/reproducible
+    kernel_backend: str = "numpy-ref"
 
 
 class PrunedInferenceEngine:
@@ -182,7 +185,8 @@ class PrunedInferenceEngine:
 
         config = config or AE_LEOPARD
         jobs = jobs_from_records(records)
-        ours = TileSimulator(config).run(jobs)
+        simulator = TileSimulator(config)
+        ours = simulator.run(jobs)
         base_config = baseline_like(config)
         base = TileSimulator(base_config).run(jobs)
         energy = EnergyModel()
@@ -198,4 +202,5 @@ class PrunedInferenceEngine:
             pruning_rate=ours.pruning_rate,
             energy_pj=ours_energy,
             baseline_energy_pj=base_energy,
+            kernel_backend=simulator.backend.name,
         )

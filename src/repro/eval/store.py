@@ -27,11 +27,12 @@ a cache miss.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import shutil
 import time
-from dataclasses import asdict
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
@@ -39,9 +40,35 @@ from ..core import (EpochStats, FinetuneHistory, PruningReport,
                     PrunedInferenceEngine)
 from ..models import AttentionRecord
 from .runner import WorkloadResult
-from .workloads import Scale, WorkloadSpec, spec_hash
+from .workloads import (QUICK, TINY, Scale, WORKLOADS, WorkloadSpec,
+                        spec_hash)
 
 FORMAT_VERSION = 1
+
+
+def _file_sha256(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for block in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class VerifyOutcome:
+    """One entry's integrity verdict (``WorkloadStore.verify``)."""
+
+    key: str
+    status: str        # "ok" | "corrupt" | "stale" | "unknown" |
+                       # "unhashed" | "unreadable"
+    detail: str = ""
+
+    @property
+    def damaged(self) -> bool:
+        """True for entries that cannot be trusted *and* would not
+        self-heal on the next sweep (stale entries retrain silently;
+        corrupt/unreadable ones need the operator)."""
+        return self.status in ("corrupt", "unreadable")
 
 
 class WorkloadStore:
@@ -146,6 +173,8 @@ class WorkloadStore:
 
         entry = {
             "format_version": FORMAT_VERSION,
+            "weights_sha256": _file_sha256(os.path.join(tmp,
+                                                        "weights.npz")),
             "workload": result.spec.name,
             "seed": result.spec.seed,
             "spec_hash": spec_hash(result.spec),
@@ -182,6 +211,86 @@ class WorkloadStore:
         except OSError:
             shutil.rmtree(tmp, ignore_errors=True)
         return final
+
+    def verify(self) -> list[VerifyOutcome]:
+        """Integrity-check every published entry without retraining.
+
+        Re-hashes each entry's ``weights.npz`` against the digest
+        recorded at save time and checks the entry is still fresh
+        against the live workload registry.  Statuses:
+
+        * ``ok`` — hash matches, spec hash current.
+        * ``corrupt`` — weights file missing or its bytes changed.
+        * ``stale`` — spec hash / format version no longer match the
+          registry (the next sweep would retrain it anyway).
+        * ``unknown`` — workload name not in the registry.
+        * ``unhashed`` — entry predates stored digests; re-save to fix.
+        * ``unreadable`` — entry.json missing or unparseable.
+        """
+        outcomes = []
+        for name in sorted(os.listdir(self.root)):
+            directory = os.path.join(self.root, name)
+            if self._is_staging(name) or not os.path.isdir(directory):
+                continue
+            entry = self._read_entry(directory)
+            if entry is None:
+                outcomes.append(VerifyOutcome(
+                    name, "unreadable", "entry.json missing or invalid"))
+                continue
+
+            expected = entry.get("weights_sha256")
+            weights = os.path.join(directory, "weights.npz")
+            if not os.path.exists(weights):
+                outcomes.append(VerifyOutcome(
+                    name, "corrupt", "weights.npz missing"))
+                continue
+            if expected is None:
+                outcomes.append(VerifyOutcome(
+                    name, "unhashed",
+                    "saved before digests were recorded"))
+                continue
+            actual = _file_sha256(weights)
+            if actual != expected:
+                outcomes.append(VerifyOutcome(
+                    name, "corrupt",
+                    f"weights digest {actual[:12]} != recorded "
+                    f"{expected[:12]}"))
+                continue
+
+            workload = entry.get("workload")
+            if workload not in WORKLOADS:
+                outcomes.append(VerifyOutcome(
+                    name, "unknown",
+                    f"workload {workload!r} not in the registry"))
+                continue
+            if entry.get("format_version") != FORMAT_VERSION:
+                outcomes.append(VerifyOutcome(
+                    name, "stale",
+                    f"format v{entry.get('format_version')} != "
+                    f"v{FORMAT_VERSION}"))
+                continue
+            current = spec_hash(WORKLOADS[workload])
+            if entry.get("spec_hash") != current:
+                outcomes.append(VerifyOutcome(
+                    name, "stale",
+                    f"spec hash {entry.get('spec_hash')} != live "
+                    f"{current} (hyperparameters changed)"))
+                continue
+            # the same scale-freshness check contains()/load() apply:
+            # if the named scale's definition drifted, the next sweep
+            # retrains this entry, so report it stale — not ok
+            scale_name = (entry.get("scale") or {}).get("name")
+            live_scale = {TINY.name: TINY, QUICK.name: QUICK}.get(
+                scale_name)
+            if (live_scale is not None
+                    and not self._fresh(entry, WORKLOADS[workload],
+                                        live_scale)):
+                outcomes.append(VerifyOutcome(
+                    name, "stale",
+                    f"scale {scale_name!r} definition changed"))
+                continue
+            outcomes.append(VerifyOutcome(name, "ok"))
+        return outcomes
 
     def invalidate(self, spec: WorkloadSpec, scale: Scale) -> bool:
         """Delete the entry for (spec, scale); True if one existed."""

@@ -13,13 +13,15 @@ CLI (also the CI resumability smoke job)::
 
     python -m repro.eval.sweep --workloads memn2n/Task-1,memn2n/Task-2 \
         --scale tiny --cache-dir /tmp/store --jobs 2
-    python -m repro.eval.sweep --suite memn2n --cache-dir store --jobs 4
+    python -m repro.eval.sweep --suite 'bert*' --cache-dir store --jobs 4
     python -m repro.eval.sweep --cache-dir store --describe
+    python -m repro.eval.sweep --cache-dir store --verify
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -28,7 +30,7 @@ from dataclasses import dataclass, field
 from .runner import run_workload
 from .store import WorkloadStore
 from .workloads import (QUICK, TINY, Scale, WORKLOADS, get_workload,
-                        list_workloads)
+                        list_suites, list_workloads)
 
 SCALES = {"tiny": TINY, "quick": QUICK}
 
@@ -180,9 +182,8 @@ def _resolve_names(parser: argparse.ArgumentParser,
     if args.suite:
         names = list_workloads(args.suite)
         if not names:
-            suites = sorted({spec.suite for spec in WORKLOADS.values()})
-            parser.error(f"unknown suite {args.suite!r}; valid suites: "
-                         + ", ".join(suites))
+            parser.error(f"suite glob {args.suite!r} matches nothing; "
+                         "valid suites: " + ", ".join(list_suites()))
         return names
     if args.workloads:
         names = [w.strip() for w in args.workloads.split(",") if w.strip()]
@@ -203,7 +204,8 @@ def main(argv=None) -> int:
     parser.add_argument("--workloads", default=None,
                         help="comma-separated workload names")
     parser.add_argument("--suite", default=None,
-                        help="every workload of one suite")
+                        help="every workload whose suite matches this "
+                             "glob (e.g. memn2n, 'bert*')")
     parser.add_argument("--all", action="store_true",
                         help="the full 43-task registry")
     parser.add_argument("--scale", choices=sorted(SCALES), default="quick")
@@ -216,6 +218,9 @@ def main(argv=None) -> int:
                         help="print the registry and exit")
     parser.add_argument("--describe", action="store_true",
                         help="print the store inventory and exit")
+    parser.add_argument("--verify", action="store_true",
+                        help="re-hash stored weights and report "
+                             "corrupt/stale entries (no retraining)")
     parser.add_argument("--wipe", action="store_true",
                         help="clear the store before sweeping")
     parser.add_argument("--save-dir", default=None,
@@ -223,16 +228,42 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.list:
-        for name in list_workloads():
+        names = list_workloads(args.suite)
+        if args.suite and not names:
+            parser.error(f"suite glob {args.suite!r} matches nothing; "
+                         "valid suites: " + ", ".join(list_suites()))
+        for name in names:
             print(name)
         return 0
 
+    if ((args.describe or args.verify) and args.cache_dir
+            and not os.path.isdir(args.cache_dir)):
+        # read-only inspection must not silently create (and then
+        # report on) an empty store at a mistyped path
+        parser.error(f"--cache-dir {args.cache_dir!r} does not exist")
     store = WorkloadStore(args.cache_dir) if args.cache_dir else None
     if args.describe:
         if store is None:
             parser.error("--describe needs --cache-dir")
         print(store.describe())
         return 0
+    if args.verify:
+        if store is None:
+            parser.error("--verify needs --cache-dir")
+        outcomes = store.verify()
+        for outcome in outcomes:
+            line = f"[{outcome.status}] {outcome.key}"
+            if outcome.detail:
+                line += f": {outcome.detail}"
+            print(line)
+        damaged = [o for o in outcomes if o.damaged]
+        counts = ", ".join(
+            f"{sum(1 for o in outcomes if o.status == status)} {status}"
+            for status in ("ok", "corrupt", "stale", "unknown",
+                           "unhashed", "unreadable")
+            if any(o.status == status for o in outcomes)) or "empty store"
+        print(f"[verify] {store.root}: {counts}")
+        return 1 if damaged else 0
     if args.wipe:
         if store is None:
             parser.error("--wipe needs --cache-dir")

@@ -15,6 +15,7 @@ so a hyperparameter change invalidates stale trained models.
 
 from __future__ import annotations
 
+import fnmatch
 import hashlib
 import json
 from dataclasses import dataclass
@@ -271,5 +272,18 @@ def get_workload(name: str) -> WorkloadSpec:
 
 
 def list_workloads(suite: str | None = None) -> list[str]:
+    """Registered workload names, optionally filtered by suite.
+
+    ``suite`` is an ``fnmatch`` glob over suite names (exact names are
+    globs too), so ``bert*`` selects every BERT family and ``?emn2n``
+    still finds memn2n; matching is case-sensitive like the registry.
+    """
+    if suite is None:
+        return list(WORKLOADS)
     return [name for name, spec in WORKLOADS.items()
-            if suite is None or spec.suite == suite]
+            if fnmatch.fnmatchcase(spec.suite, suite)]
+
+
+def list_suites() -> list[str]:
+    """Every distinct suite name, sorted (for CLI error messages)."""
+    return sorted({spec.suite for spec in WORKLOADS.values()})

@@ -1,0 +1,133 @@
+"""Pluggable bit-serial kernel backends.
+
+Every hardware experiment funnels through one kernel — the
+early-termination Q·K cycle-count matrix — so this package puts that
+kernel behind a registry of interchangeable backends.  The contract is
+the :class:`KernelBackend` protocol: given the same
+``(q, k, threshold, magnitude_bits, group, valid, margin_scale)``
+inputs, every backend must return ``(cycles, pruned, scores)``
+**bit-identical** to the scalar reference trace
+(:func:`repro.hw.bitserial.bitserial_dot_product`); the conformance
+matrix in ``tests/test_backends.py`` pins this for every registered
+backend.
+
+Shipped backends:
+
+``numpy-ref``
+    the original O(bit-planes) einsum kernel — the reference
+    semantics, and the default.
+``numpy-packed``
+    the fast path: sign-magnitude key planes packed into per-cycle
+    plane-group words, one fused GEMM over the per-key plane cache,
+    and an integer scan for the margin/termination sweep.  ≥2x the
+    reference at paper-scale tiles (S=512-1280), pinned by
+    ``benchmarks/test_kernel_micro.py``.
+``numba``
+    optional JIT per-pair kernel with true per-score early exit;
+    auto-registered only when :mod:`numba` imports.
+
+Selection precedence: an explicit ``backend=`` argument
+(``TileSimulator``, ``bitserial_cycles_matrix``), then
+``TileConfig.kernel_backend``, then the ``REPRO_KERNEL_BACKEND``
+environment variable, then :data:`DEFAULT_BACKEND`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+DEFAULT_BACKEND = "numpy-ref"
+
+
+@runtime_checkable
+class KernelBackend(Protocol):
+    """The backend contract: the exact semantics of the reference
+    bit-serial kernel, exposed as a ``matrix`` method.
+
+    ``matrix`` evaluates a whole S_q x S_k score tile and returns
+    ``(cycles, pruned, scores)`` with the meaning documented on
+    :func:`repro.hw.bitserial.bitserial_cycles_matrix`.  Results must
+    be bit-identical to the scalar trace for every input in the
+    integer-exact domain (scores within float64's 2**53 window).
+    """
+
+    name: str
+    description: str
+
+    def matrix(self, q, k, threshold: float, magnitude_bits: int,
+               group: int, valid: np.ndarray | None = None,
+               margin_scale: float = 1.0
+               ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        ...
+
+
+_REGISTRY: dict[str, KernelBackend] = {}
+
+
+def register_backend(backend: KernelBackend,
+                     replace: bool = False) -> KernelBackend:
+    """Add a backend to the registry under ``backend.name``.
+
+    Re-registering an existing name raises unless ``replace=True`` —
+    a silent override would make "which kernel ran?" unanswerable.
+    """
+    name = backend.name
+    if not replace and name in _REGISTRY:
+        raise ValueError(f"kernel backend {name!r} is already "
+                         "registered (pass replace=True to override)")
+    _REGISTRY[name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend (test helper; unknown names are a no-op)."""
+    _REGISTRY.pop(name, None)
+
+
+def list_backends() -> list[str]:
+    """Names of every registered backend, sorted."""
+    return sorted(_REGISTRY)
+
+
+def resolve_backend_name(name: str | None = None) -> str:
+    """Apply the selection precedence: explicit name, then the
+    ``REPRO_KERNEL_BACKEND`` environment variable, then the default."""
+    if name:
+        return name
+    return os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+
+
+def get_backend(name: str | None = None) -> KernelBackend:
+    """Look up a backend; ``None`` resolves env var / default.
+
+    Raises ``KeyError`` naming the valid choices for a typo'd or
+    unavailable backend (e.g. ``numba`` without numba installed).
+    """
+    resolved = resolve_backend_name(name)
+    try:
+        return _REGISTRY[resolved]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel backend {resolved!r}; registered backends: "
+            f"{', '.join(list_backends())} (selected via backend= / "
+            f"TileConfig.kernel_backend / ${ENV_VAR})") from None
+
+
+# -- built-in backends ------------------------------------------------------
+# numpy backends always register; the numba backend registers itself only
+# when numba imports, so environments without it just don't list it.
+from . import numpy_ref       # noqa: E402,F401  (registers numpy-ref)
+from . import numpy_packed    # noqa: E402,F401  (registers numpy-packed)
+
+try:
+    from . import numba_jit   # noqa: E402,F401  (registers numba)
+except ImportError:           # pragma: no cover - numba is optional
+    numba_jit = None
+
+__all__ = ["KernelBackend", "register_backend", "unregister_backend",
+           "get_backend", "list_backends", "resolve_backend_name",
+           "ENV_VAR", "DEFAULT_BACKEND"]

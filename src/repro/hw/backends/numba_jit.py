@@ -1,0 +1,116 @@
+"""``numba``: optional JIT per-pair kernel with true early exit.
+
+Importing this module requires :mod:`numba`; the backends package
+imports it inside a ``try`` so environments without numba simply don't
+register the backend (``get_backend("numba")`` then raises a KeyError
+naming the backends that *are* available, and the conformance tests
+skip).
+
+Unlike the numpy backends — which always evaluate every plane group
+for every score and only *count* the early-termination cycle — the JIT
+kernel walks each (query, key) pair cycle by cycle and genuinely stops
+at the termination boundary, so its work scales with the pruning rate
+the same way the hardware's would.  Arithmetic is ordered exactly like
+the reference kernel's float64 operations to stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import numba
+import numpy as np
+
+from ..bitserial import _plane_schedule
+from . import register_backend
+
+
+@numba.njit(cache=False)
+def _pair_kernel(q, signs, magnitudes, threshold, group_counts,
+                 group_los, full_cycles, magnitude_bits, margin_scale,
+                 cycles, pruned, scores):
+    s_q = q.shape[0]
+    s_k = signs.shape[0]
+    dim = q.shape[1]
+    for i in range(s_q):
+        for j in range(s_k):
+            positive = 0.0
+            score = 0.0
+            for d in range(dim):
+                value = float(q[i, d] * signs[j, d])
+                if value > 0.0:
+                    positive += value
+                score += value * magnitudes[j, d]
+            partial = 0.0
+            remaining = magnitude_bits
+            terminated = False
+            spent = full_cycles
+            for c in range(full_cycles):
+                planes = group_counts[c]
+                if planes > 0:
+                    lo = group_los[c]
+                    contribution = 0.0
+                    for d in range(dim):
+                        field = (magnitudes[j, d] >> lo) & ((1 << planes)
+                                                            - 1)
+                        contribution += float(q[i, d] * signs[j, d]
+                                              * field)
+                    partial += contribution * float(1 << lo)
+                    remaining -= planes
+                if c + 1 == full_cycles:
+                    break
+                margin = positive * ((1 << remaining) - 1) * margin_scale
+                if not terminated and partial + margin < threshold:
+                    terminated = True
+                    spent = c + 1
+                    break
+            cycles[i, j] = spent
+            pruned[i, j] = terminated or score < threshold
+            scores[i, j] = score
+
+
+def matrix(q, k, threshold: float, magnitude_bits: int, group: int,
+           valid: np.ndarray | None = None, margin_scale: float = 1.0
+           ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    q = np.ascontiguousarray(np.asarray(q, dtype=np.int64))
+    k = np.asarray(k, dtype=np.int64)
+    signs = np.ascontiguousarray(np.sign(k))
+    # the reference only ever reads the magnitude_bits planes, so mask
+    # out-of-range keys the same way
+    magnitudes = np.ascontiguousarray(
+        np.abs(k) & ((np.int64(1) << magnitude_bits) - 1))
+    schedule = _plane_schedule(magnitude_bits, group)
+    full_cycles = len(schedule)
+    group_counts = np.empty(full_cycles, dtype=np.int64)
+    group_los = np.empty(full_cycles, dtype=np.int64)
+    for index, chunk in enumerate(schedule):
+        planes = [p for p in chunk if p >= 0]
+        group_counts[index] = len(planes)
+        group_los[index] = planes[-1] if planes else 0
+
+    shape = (q.shape[0], k.shape[0])
+    cycles = np.empty(shape, dtype=np.int64)
+    pruned = np.empty(shape, dtype=np.bool_)
+    scores = np.empty(shape, dtype=np.float64)
+    _pair_kernel(q, signs, magnitudes, float(threshold), group_counts,
+                 group_los, full_cycles, magnitude_bits,
+                 float(margin_scale), cycles, pruned, scores)
+    if valid is not None:
+        cycles = np.where(valid, cycles, 0)
+    return cycles, pruned, scores
+
+
+class NumbaBackend:
+    """JIT per-pair kernel behind the :class:`KernelBackend`
+    protocol."""
+
+    name = "numba"
+    description = ("optional JIT per-pair kernel with real per-score "
+                   "early exit (registered only when numba imports)")
+
+    @staticmethod
+    def matrix(q, k, threshold, magnitude_bits, group, valid=None,
+               margin_scale=1.0):
+        return matrix(q, k, threshold, magnitude_bits, group,
+                      valid=valid, margin_scale=margin_scale)
+
+
+BACKEND = register_backend(NumbaBackend())

@@ -1,16 +1,19 @@
 """Sign-magnitude bit-serial Q·K kernels with early termination
 (paper §3.2, Fig. 3).
 
-Two implementations of the same hardware semantics:
+Two entry points into the same hardware semantics:
 
 * ``bitserial_dot_product`` — the scalar reference trace, kept for the
   walkthrough/exactness demos.  One Python iteration per cycle, full
-  per-cycle history.
+  per-cycle history.  This trace *defines* the semantics every matrix
+  backend must reproduce bit-for-bit.
 * ``bitserial_cycles_matrix`` — the hot path.  Evaluates an entire
-  S_q x S_k score tile in **O(bit-planes) numpy passes**: one batched
-  plane-contribution einsum, a grouped cumulative sum for the partial
-  sums, and a closed-form conservative margin per plane group.  No
-  per-element Python looping anywhere.
+  S_q x S_k score tile through a pluggable kernel backend
+  (:mod:`repro.hw.backends`): ``numpy-ref`` is the original
+  O(bit-planes) einsum kernel, ``numpy-packed`` the packed-bitplane
+  fast path, ``numba`` an optional JIT kernel.  Select with the
+  ``backend=`` argument, ``TileConfig.kernel_backend``, or the
+  ``REPRO_KERNEL_BACKEND`` environment variable.
 
 Semantics: keys are sign-magnitude with ``magnitude_bits`` magnitude
 bits, processed MSB-first in groups of ``group`` bit-planes per cycle;
@@ -104,12 +107,13 @@ def bitserial_dot_product(q, k, threshold: float, magnitude_bits: int,
 
 
 # ---------------------------------------------------------------------------
-# vectorized bit-plane kernel (the hot path)
+# vectorized bit-plane kernel (the hot path, backend-dispatched)
 # ---------------------------------------------------------------------------
 
 def bitserial_cycles_matrix(q, k, threshold: float, magnitude_bits: int,
                             group: int, valid: np.ndarray | None = None,
-                            margin_scale: float = 1.0
+                            margin_scale: float = 1.0,
+                            backend: str | None = None
                             ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Early-termination cycle counts for a whole score tile.
 
@@ -120,68 +124,22 @@ def bitserial_cycles_matrix(q, k, threshold: float, magnitude_bits: int,
 
     * ``cycles[i, j]`` — DPU cycles spent on score (i, j); pruned
       scores terminate as soon as partial-sum + margin drops below the
-      threshold, surviving scores take the full schedule.
+      threshold, surviving scores take the full schedule.  Positions
+      where ``valid`` is False report 0 cycles.
     * ``pruned[i, j]`` — the prune decision.  With the conservative
       margin (``margin_scale=1``) it equals ``scores < threshold``
       exactly; smaller margins terminate earlier but may wrongly prune.
     * ``scores`` — the exact integer dot products, as float64.
 
-    Complexity: O(bit-planes) whole-matrix numpy passes — one stacked
-    einsum for all plane contributions, then one (cycles, S_q, S_k)
-    cumulative pass for partial sums, margins and first-termination
-    search.  Zero Python-level per-element work.
+    ``backend`` picks the kernel implementation by registry name
+    (:mod:`repro.hw.backends`); ``None`` follows the
+    ``REPRO_KERNEL_BACKEND`` environment variable and defaults to the
+    ``numpy-ref`` reference kernel.  Every registered backend returns
+    bit-identical results on integer inputs whose scores stay inside
+    float64's exact-integer window.
     """
-    q = np.asarray(q, dtype=np.int64)
-    k = np.asarray(k, dtype=np.int64)
-    signs = np.sign(k)
-    magnitudes = np.abs(k)
-    qf = q.astype(np.float64)
+    from .backends import get_backend
 
-    schedule = _plane_schedule(magnitude_bits, group)
-    full_cycles = len(schedule)
-
-    # one weighted sign-plane tensor per magnitude plane, MSB..LSB:
-    # planes[p] = signs * bit_p(k) * 2^p  -> contribution = q @ planes[p].T
-    weights = (1 << np.arange(magnitude_bits - 1, -1, -1,
-                              dtype=np.int64))
-    bits = (magnitudes[None, :, :] >> np.arange(
-        magnitude_bits - 1, -1, -1)[:, None, None]) & 1
-    plane_keys = (signs[None, :, :] * bits
-                  * weights[:, None, None]).astype(np.float64)
-    # (planes, S_q, S_k) contributions in ONE batched matmul pass
-    contributions = np.einsum("qd,pkd->pqk", qf, plane_keys,
-                              optimize=True)
-
-    # exact scores: sum of all plane contributions (integers in f64)
-    scores = contributions.sum(axis=0)
-
-    # largest possible remaining contribution per unit magnitude:
-    # only elements with q_i * sign(k_i) > 0 can push the sum up
-    positive = (np.maximum(qf, 0.0) @ np.maximum(signs, 0).T
-                + np.maximum(-qf, 0.0) @ np.maximum(-signs, 0).T)
-
-    # grouped cumulative partial sums + margins, one pass per cycle
-    cycles = np.full(scores.shape, full_cycles, dtype=np.int64)
-    terminated = np.zeros(scores.shape, dtype=bool)
-    partial = np.zeros_like(scores)
-    plane_cursor = 0
-    remaining = magnitude_bits
-    for cycle_index, chunk in enumerate(schedule, start=1):
-        magnitude_planes = sum(1 for plane in chunk if plane >= 0)
-        if magnitude_planes:
-            stop = plane_cursor + magnitude_planes
-            partial = partial + contributions[plane_cursor:stop].sum(axis=0)
-            plane_cursor = stop
-            remaining -= magnitude_planes
-        if cycle_index == full_cycles:
-            break
-        margin = positive * ((1 << remaining) - 1) * margin_scale
-        newly = ~terminated & (partial + margin < threshold)
-        if newly.any():
-            cycles[newly] = cycle_index
-            terminated |= newly
-
-    pruned = terminated | (scores < threshold)
-    if valid is not None:
-        cycles = np.where(valid, cycles, 0)
-    return cycles, pruned, scores
+    return get_backend(backend).matrix(
+        q, k, threshold, magnitude_bits, group, valid=valid,
+        margin_scale=margin_scale)

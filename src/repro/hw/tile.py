@@ -12,7 +12,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .bitserial import bitserial_cycles_matrix, serial_cycle_count
+from .backends import get_backend
+from .bitserial import serial_cycle_count
 from .config import TileConfig
 from .workload import HeadJob
 
@@ -62,8 +63,14 @@ class TileRunResult:
 
 
 class TileSimulator:
-    def __init__(self, config: TileConfig):
+    def __init__(self, config: TileConfig, backend: str | None = None):
+        """``backend`` overrides the kernel backend by registry name;
+        otherwise ``config.kernel_backend``, then the
+        ``REPRO_KERNEL_BACKEND`` environment variable, decide (see
+        :mod:`repro.hw.backends`).  Resolution happens here so a typo
+        fails at construction, not mid-run."""
         self.config = config
+        self.backend = get_backend(backend or config.kernel_backend)
 
     # -- per-job scheduling, all whole-array ops ------------------------
     def _job_activity(self, job: HeadJob):
@@ -73,7 +80,7 @@ class TileSimulator:
         full = serial_cycle_count(config.qk_bits, config.serial_bits)
 
         if config.early_termination:
-            cycles, pruned, scores = bitserial_cycles_matrix(
+            cycles, pruned, scores = self.backend.matrix(
                 q, k, threshold, config.magnitude_bits,
                 config.serial_bits, valid=valid)
         else:

@@ -1,19 +1,26 @@
 """Serving demo: ``python -m repro.serve``.
 
-Builds a small pruned classifier and a causal LM, pushes a burst of
-mixed-length requests / generation streams through the dynamic
-batcher, and prints per-request results plus aggregate hardware
-accounting (cycles and energy charged per request even though the
-traffic was served coalesced).
+By default builds a small pruned classifier and a causal LM; with
+``--engine-dir`` it instead serves any saved
+``PrunedInferenceEngine.from_directory`` snapshot (e.g. an entry of the
+eval store, or anything ``engine.save`` wrote).  Pushes a burst of
+mixed-length requests / generation streams through the dynamic batcher
+and prints per-request results plus aggregate hardware accounting
+(cycles and energy charged per request even though the traffic was
+served coalesced).  ``--kernel-backend`` picks which bit-serial kernel
+backend produces the hardware estimates; each estimate records the
+backend that made it.
 """
 
 from __future__ import annotations
 
 import argparse
+from dataclasses import replace
 
 import numpy as np
 
 from ..core import PrunedInferenceEngine
+from ..hw import AE_LEOPARD, get_backend
 from ..models import (ClassifierConfig, LMConfig, TransformerClassifier,
                       TransformerLM)
 from . import BatchPolicy, ServingEngine
@@ -38,16 +45,40 @@ def build_lm_engine(seed: int = 0,
     return PrunedInferenceEngine(model, controller)
 
 
-def classify_demo(args) -> None:
+def load_engine(directory: str) -> PrunedInferenceEngine:
+    """Rebuild a saved engine and check it is servable (single-sequence
+    requests; MemN2N's (story, question) pairs don't fit the queue)."""
+    engine = PrunedInferenceEngine.from_directory(directory)
+    config = getattr(engine.model, "config", None)
+    if getattr(config, "max_seq_len", None) is None:
+        raise SystemExit(
+            f"error: {type(engine.model).__name__} snapshots take "
+            "multi-part inputs the serving queue does not model; "
+            "serve a TransformerClassifier or TransformerLM snapshot")
+    return engine
+
+
+def _random_inputs(config, length: int, rng) -> np.ndarray:
+    """One request's inputs: token ids, or patch features for
+    continuous-input (ViT-style) classifiers."""
+    if config.vocab_size is not None:
+        return rng.integers(0, config.vocab_size, size=length)
+    return rng.standard_normal((length, config.input_dim))
+
+
+def classify_demo(args, engine: PrunedInferenceEngine,
+                  hw_config) -> None:
     print("== one-shot classification traffic ==")
     serving = ServingEngine(
-        build_classifier_engine(args.seed),
+        engine,
         BatchPolicy(max_batch_size=args.max_batch_size,
                     max_wait=args.max_wait),
-        estimate_hardware=True)
+        estimate_hardware=True, hw_config=hw_config)
+    config = engine.model.config
     rng = np.random.default_rng(args.seed)
-    ids = [serving.submit(rng.integers(0, 64, size=int(length)))
-           for length in rng.integers(3, 25, size=args.requests)]
+    lengths = rng.integers(3, config.max_seq_len + 1, size=args.requests)
+    ids = [serving.submit(_random_inputs(config, int(length), rng))
+           for length in lengths]
     serving.drain()
     for request_id in ids:
         result = serving.finish(request_id)
@@ -55,7 +86,8 @@ def classify_demo(args) -> None:
         print(f"  request {request_id}: class {result.prediction}  "
               f"batch of {result.batch_sizes[0]}  "
               f"{hw.runtime_ns:8.1f} ns ({hw.speedup_vs_baseline:.2f}x "
-              f"vs baseline, pruning {hw.pruning_rate:.0%})")
+              f"vs baseline, pruning {hw.pruning_rate:.0%}, "
+              f"kernel {hw.kernel_backend})")
     stats = serving.stats
     print(f"  -> {stats.completed} requests in {stats.batches} batches "
           f"(mean size {stats.mean_batch_size:.1f}); traffic totals "
@@ -65,17 +97,21 @@ def classify_demo(args) -> None:
           f"{stats.hardware.energy_reduction:.2f}x energy vs baseline)\n")
 
 
-def generate_demo(args) -> None:
+def generate_demo(args, engine: PrunedInferenceEngine,
+                  hw_config) -> None:
     print("== concurrent generation streams (per-stream KV caches) ==")
     serving = ServingEngine(
-        build_lm_engine(args.seed),
+        engine,
         BatchPolicy(max_batch_size=args.max_batch_size,
                     max_wait=args.max_wait),
-        estimate_hardware=True)
+        estimate_hardware=True, hw_config=hw_config)
+    config = engine.model.config
     rng = np.random.default_rng(args.seed)
-    ids = [serving.open_stream(rng.integers(1, 64, size=int(length)),
-                               max_new_tokens=args.new_tokens)
-           for length in rng.integers(1, 9, size=args.streams)]
+    prompt_cap = max(2, min(9, config.max_seq_len // 2))
+    ids = [serving.open_stream(
+               rng.integers(1, config.vocab_size, size=int(length)),
+               max_new_tokens=args.new_tokens)
+           for length in rng.integers(1, prompt_cap, size=args.streams)]
     steps = 0
     while serving.has_pending():
         serving.step()
@@ -86,7 +122,8 @@ def generate_demo(args) -> None:
         print(f"  stream {stream_id}: {len(result.tokens)} tokens "
               f"{result.tokens[:8].tolist()}...  coalesced with up to "
               f"{max(result.batch_sizes)} streams  "
-              f"{hw.runtime_ns:8.1f} ns ({hw.speedup_vs_baseline:.2f}x)")
+              f"{hw.runtime_ns:8.1f} ns ({hw.speedup_vs_baseline:.2f}x, "
+              f"kernel {hw.kernel_backend})")
     stats = serving.stats
     print(f"  -> {len(ids)} streams, {stats.decode_rounds} coalesced "
           f"decode rounds over {steps} engine steps; traffic totals "
@@ -101,6 +138,9 @@ def main(argv=None) -> None:
         description="batched serving demo over the pruned engine")
     parser.add_argument("--mode", choices=["classify", "generate", "both"],
                         default="both")
+    parser.add_argument("--engine-dir", default=None,
+                        help="serve a saved PrunedInferenceEngine "
+                             "snapshot instead of the built-in toys")
     parser.add_argument("--requests", type=int, default=12,
                         help="one-shot requests to submit (classify)")
     parser.add_argument("--streams", type=int, default=6,
@@ -109,12 +149,33 @@ def main(argv=None) -> None:
                         help="tokens to generate per stream")
     parser.add_argument("--max-batch-size", type=int, default=4)
     parser.add_argument("--max-wait", type=float, default=0.002)
+    parser.add_argument("--kernel-backend", default=None,
+                        help="bit-serial kernel backend for hardware "
+                             "estimates (see repro.hw.backends)")
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
+
+    hw_config = None
+    if args.kernel_backend:
+        get_backend(args.kernel_backend)      # typo -> error before traffic
+        hw_config = replace(AE_LEOPARD, kernel_backend=args.kernel_backend)
+
+    if args.engine_dir:
+        engine = load_engine(args.engine_dir)
+        generative = hasattr(engine.model, "decode_step")
+        print(f"[engine] {args.engine_dir}: "
+              f"{type(engine.model).__name__} "
+              f"({'generate' if generative else 'classify'} traffic)")
+        if generative:
+            generate_demo(args, engine, hw_config)
+        else:
+            classify_demo(args, engine, hw_config)
+        return
+
     if args.mode in ("classify", "both"):
-        classify_demo(args)
+        classify_demo(args, build_classifier_engine(args.seed), hw_config)
     if args.mode in ("generate", "both"):
-        generate_demo(args)
+        generate_demo(args, build_lm_engine(args.seed), hw_config)
 
 
 if __name__ == "__main__":
