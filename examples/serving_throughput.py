@@ -1,25 +1,30 @@
-"""Serving throughput: dynamic batching vs the serial baseline.
+"""Serving throughput: both schedulers vs the serial baseline.
 
 Two traffic shapes, both driven by N concurrent synthetic clients:
 
 * ``--mode generate`` (default): each client opens an autoregressive
   generation stream; the serving engine coalesces every decode step
-  across streams with per-stream KV caches.  The serial baseline runs
-  ``model.generate`` one stream at a time — the decode phase is one
-  query row per step, so it is call-overhead bound and batching pays
-  off heavily.
+  across streams with per-stream KV caches, under **both** stream
+  schedulers — round-based (prefill everything, decode all live
+  streams in chunks) and continuous (admit into free decode slots,
+  one full slot batch per step).  ``--stagger K`` spreads arrivals
+  one stream every K engine steps — the mixed-arrival regime where
+  round-based chunking leaves decode batches partially filled and
+  continuous batching pays off.  The serial baseline runs
+  ``model.generate`` one stream at a time.
 * ``--mode classify``: each client awaits one-shot classification
   requests through the asyncio front end; the dynamic batcher
   coalesces across clients into fixed-width padded batches.  The
   serial baseline is one engine call per request.
 
-Run:  python examples/serving_throughput.py --streams 8 --quick
+Run:  python examples/serving_throughput.py --streams 16 --stagger 2 --quick
 """
 
 import argparse
 import asyncio
 import sys
 import time
+from collections import deque
 
 import numpy as np
 
@@ -31,45 +36,91 @@ VOCAB = 64
 
 
 # -- generation streams --------------------------------------------------
-def run_generate(args) -> float:
+def drive_streams(serving, requests, stagger) -> float:
+    """Push every (prompt, new_tokens) request through ``serving``
+    (arrivals staggered one stream per ``stagger`` steps; 0 = all at
+    once) and return the elapsed wall time."""
+    ids = []
+    start = time.perf_counter()
+    if stagger <= 0:
+        ids = [serving.open_stream(p, n) for p, n in requests]
+        serving.drain()
+    else:
+        waiting = deque(requests)
+        tick = 0
+        while waiting or serving.has_pending():
+            if waiting and tick % stagger == 0:
+                prompt, n = waiting.popleft()
+                ids.append(serving.open_stream(prompt, n))
+            serving.step()
+            tick += 1
+    elapsed = time.perf_counter() - start
+    for stream_id in ids:
+        serving.finish(stream_id)
+    return elapsed
+
+
+def run_generate(args) -> dict:
     rng = np.random.default_rng(args.seed)
     new_tokens = 8 if args.quick else 24
     prompt_max = 8
     engine = build_lm_engine(args.seed,
                              max_seq_len=prompt_max + new_tokens)
-    prompts = [rng.integers(1, VOCAB, size=int(n))
-               for n in rng.integers(2, prompt_max + 1, size=args.streams)]
-    engine.model.generate(prompts[0][None, :], 2)        # warm-up
+    # heterogeneous requests — mixed prompt lengths *and* generation
+    # budgets, like real traffic: streams finish at different times,
+    # which is exactly when round-based chunking leaves decode batches
+    # partially filled and the continuous slot pool stays full
+    requests = [
+        (rng.integers(1, VOCAB, size=int(n)),
+         int(rng.integers(max(2, new_tokens // 2), new_tokens + 1)))
+        for n in rng.integers(2, prompt_max + 1, size=args.streams)]
+    engine.model.generate(requests[0][0][None, :], 2)    # warm-up
 
     start = time.perf_counter()
-    for prompt in prompts:
-        engine.model.generate(prompt[None, :], new_tokens)
+    for prompt, n in requests:
+        engine.model.generate(prompt[None, :], n)
     serial_elapsed = time.perf_counter() - start
 
-    serving = ServingEngine(engine, BatchPolicy(
-        max_batch_size=args.max_batch_size or min(args.streams, 16),
-        max_wait=args.max_wait, pad_to=prompt_max))
-    ids = [serving.open_stream(p, new_tokens) for p in prompts]
-    start = time.perf_counter()
-    serving.drain()
-    batched_elapsed = time.perf_counter() - start
-    for stream_id in ids:
-        serving.finish(stream_id)
+    max_batch = args.max_batch_size or min(args.streams, 16)
 
-    tokens = args.streams * new_tokens
+    def make_serving(continuous: bool) -> ServingEngine:
+        return ServingEngine(
+            engine,
+            BatchPolicy(max_batch_size=max_batch,
+                        max_wait=args.max_wait, pad_to=prompt_max),
+            continuous=continuous, preempt_after=args.preempt_after)
+
+    round_serving = make_serving(False)
+    round_elapsed = drive_streams(round_serving, requests, args.stagger)
+    cont_serving = make_serving(True)
+    cont_elapsed = drive_streams(cont_serving, requests, args.stagger)
+
+    tokens = sum(n for _, n in requests)
     serial_tps = tokens / serial_elapsed
-    batched_tps = tokens / batched_elapsed
+    round_tps = tokens / round_elapsed
+    cont_tps = tokens / cont_elapsed
+    arrivals = (f"staggered 1/{args.stagger} steps" if args.stagger
+                else "burst arrivals")
     print(f"generation: {args.streams} concurrent streams x "
-          f"{new_tokens} new tokens (per-stream KV caches)")
+          f"{new_tokens} new tokens ({arrivals}, "
+          f"{max_batch} decode slots)")
     print(f"serial baseline : {args.streams / serial_elapsed:8.1f} req/s "
           f"({serial_tps:8.1f} tok/s, one stream at a time)")
-    print(f"batched serving : {args.streams / batched_elapsed:8.1f} req/s "
-          f"({batched_tps:8.1f} tok/s, {serving.stats.decode_rounds} "
-          f"coalesced decode rounds, mean batch "
-          f"{serving.stats.mean_batch_size:.1f})")
-    speedup = batched_tps / serial_tps
-    print(f"speedup         : {speedup:8.2f}x")
-    return speedup
+    print(f"round-based     : {args.streams / round_elapsed:8.1f} req/s "
+          f"({round_tps:8.1f} tok/s, {round_serving.stats.decode_rounds} "
+          f"decode forwards, mean batch "
+          f"{round_serving.stats.mean_batch_size:.1f})")
+    print(f"continuous      : {args.streams / cont_elapsed:8.1f} req/s "
+          f"({cont_tps:8.1f} tok/s, {cont_serving.stats.decode_rounds} "
+          f"decode forwards, mean batch "
+          f"{cont_serving.stats.mean_batch_size:.1f}, "
+          f"{cont_serving.stats.preemptions} preemptions)")
+    print(f"speedup         : {round_tps / serial_tps:8.2f}x round-based, "
+          f"{cont_tps / serial_tps:8.2f}x continuous "
+          f"(continuous/round: {cont_tps / round_tps:.2f}x)")
+    return {"batched": round_tps / serial_tps,
+            "continuous": cont_tps / serial_tps,
+            "continuous_vs_round": cont_tps / round_tps}
 
 
 # -- one-shot classification traffic -------------------------------------
@@ -84,8 +135,16 @@ def run_classify(args) -> float:
     engine = build_classifier_engine(args.seed)
     per_stream = 6 if args.quick else args.requests_per_stream
     traffic = make_traffic(args.streams, per_stream, args.seed)
-    buckets = (None if args.buckets.lower() == "none" else
-               tuple(int(b) for b in args.buckets.split(",")))
+    if args.buckets.lower() == "none":
+        buckets = None
+    elif args.buckets.lower() == "auto":
+        # auto-tune the pad ladder from the observed length histogram
+        observed = [len(r) for stream in traffic for r in stream]
+        buckets = BatchPolicy.from_observed(observed).buckets
+        print(f"auto-tuned buckets from {len(observed)} observed "
+              f"lengths: {buckets}")
+    else:
+        buckets = tuple(int(b) for b in args.buckets.split(","))
     max_batch = args.max_batch_size or max(2, min(args.streams, 16) // 2)
 
     warm = traffic[0][0]
@@ -121,7 +180,7 @@ def run_classify(args) -> float:
           f"{serving.stats.mean_batch_size:.1f}, max "
           f"{serving.stats.max_batch_size})")
     print(f"speedup         : {speedup:8.2f}x")
-    return speedup
+    return {"batched": speedup}
 
 
 def main(argv=None) -> int:
@@ -136,24 +195,44 @@ def main(argv=None) -> int:
                         help="small request count for CI smoke runs")
     parser.add_argument("--max-batch-size", type=int, default=None)
     parser.add_argument("--max-wait", type=float, default=0.0005)
+    parser.add_argument("--stagger", type=int, default=0,
+                        help="generate mode: one stream arrives every "
+                             "K engine steps (0 = burst)")
+    parser.add_argument("--preempt-after", type=int, default=None,
+                        help="generate mode: continuous-scheduler "
+                             "preemption time slice")
     parser.add_argument("--buckets", default="none",
                         help="classify mode: comma-separated pad-width "
-                             "ladder; 'none' pads to the model maximum")
+                             "ladder, 'auto' to tune from the observed "
+                             "lengths, 'none' to pad to the model "
+                             "maximum")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero unless batched >= "
                              "--min-speedup x serial")
     parser.add_argument("--min-speedup", type=float, default=1.0)
+    parser.add_argument("--check-continuous", action="store_true",
+                        help="generate mode: also require continuous "
+                             ">= --min-continuous-ratio x round-based")
+    parser.add_argument("--min-continuous-ratio", type=float, default=1.0)
     args = parser.parse_args(argv)
 
-    speedup = (run_generate(args) if args.mode == "generate"
-               else run_classify(args))
+    speedups = (run_generate(args) if args.mode == "generate"
+                else run_classify(args))
 
-    if args.check and speedup < args.min_speedup:
-        print(f"FAIL: batched speedup {speedup:.2f}x below required "
-              f"{args.min_speedup:.2f}x", file=sys.stderr)
-        return 1
-    return 0
+    failed = False
+    if args.check and speedups["batched"] < args.min_speedup:
+        print(f"FAIL: batched speedup {speedups['batched']:.2f}x below "
+              f"required {args.min_speedup:.2f}x", file=sys.stderr)
+        failed = True
+    if args.check_continuous:
+        ratio = speedups.get("continuous_vs_round", 0.0)
+        if ratio < args.min_continuous_ratio:
+            print(f"FAIL: continuous/round-based ratio {ratio:.2f}x "
+                  f"below required {args.min_continuous_ratio:.2f}x",
+                  file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -179,28 +179,49 @@ class PrunedInferenceEngine:
         vs the non-pruning baseline.  Serving uses this directly: the
         batcher slices a coalesced batch's records per request, and each
         request's estimate is identical to a solo run of that request."""
+        return self.estimate_many([records], config)[0]
+
+    def estimate_many(self, record_groups, config=None
+                      ) -> list[HardwareEstimate]:
+        """Estimate several record groups against one pair of
+        simulators.
+
+        The serving layer slices each scheduler step's coalesced
+        records into per-request groups (one per stream or classify
+        request that participated in the step) and charges them in a
+        single call here, so hardware accounting is cut per step rather
+        than per whole round — without rebuilding the tile/baseline
+        simulators and energy model for every slice.  Each group's
+        estimate is bit-identical to calling
+        :meth:`estimate_from_records` on it alone (the simulators are
+        stateless across ``run`` calls)."""
         from ..hw import (AE_LEOPARD, EnergyModel, TileSimulator,
                           baseline_like)
         from ..hw.workload import jobs_from_records
 
         config = config or AE_LEOPARD
-        jobs = jobs_from_records(records)
         simulator = TileSimulator(config)
-        ours = simulator.run(jobs)
         base_config = baseline_like(config)
-        base = TileSimulator(base_config).run(jobs)
+        baseline = TileSimulator(base_config)
         energy = EnergyModel()
-        ours_energy = energy.total(ours.counters, config)
-        base_energy = energy.total(base.counters, base_config)
         to_ns = 1.0 / config.frequency_ghz
-        return HardwareEstimate(
-            config_name=config.name,
-            runtime_ns=ours.total_cycles * to_ns,
-            baseline_runtime_ns=base.total_cycles * to_ns,
-            speedup_vs_baseline=base.total_cycles / max(ours.total_cycles, 1),
-            energy_reduction=base_energy / max(ours_energy, 1e-12),
-            pruning_rate=ours.pruning_rate,
-            energy_pj=ours_energy,
-            baseline_energy_pj=base_energy,
-            kernel_backend=simulator.backend.name,
-        )
+        estimates = []
+        for records in record_groups:
+            jobs = jobs_from_records(records)
+            ours = simulator.run(jobs)
+            base = baseline.run(jobs)
+            ours_energy = energy.total(ours.counters, config)
+            base_energy = energy.total(base.counters, base_config)
+            estimates.append(HardwareEstimate(
+                config_name=config.name,
+                runtime_ns=ours.total_cycles * to_ns,
+                baseline_runtime_ns=base.total_cycles * to_ns,
+                speedup_vs_baseline=(base.total_cycles
+                                     / max(ours.total_cycles, 1)),
+                energy_reduction=base_energy / max(ours_energy, 1e-12),
+                pruning_rate=ours.pruning_rate,
+                energy_pj=ours_energy,
+                baseline_energy_pj=base_energy,
+                kernel_backend=simulator.backend.name,
+            ))
+        return estimates

@@ -292,6 +292,55 @@ class WorkloadStore:
             outcomes.append(VerifyOutcome(name, "ok"))
         return outcomes
 
+    # -- size-bounded eviction ------------------------------------------
+    def entry_bytes(self, key: str) -> int:
+        """On-disk footprint of one published entry."""
+        directory = os.path.join(self.root, key)
+        total = 0
+        for base, _, files in os.walk(directory):
+            for name in files:
+                try:
+                    total += os.path.getsize(os.path.join(base, name))
+                except OSError:
+                    pass
+        return total
+
+    def size_bytes(self) -> int:
+        """Total on-disk footprint of every published entry."""
+        return sum(self.entry_bytes(entry["key"])
+                   for entry in self.entries())
+
+    def evict_lru(self, max_bytes: int,
+                  protect: set[str] | None = None) -> list[str]:
+        """Evict least-recently-saved entries until the store fits in
+        ``max_bytes``.
+
+        ``protect`` names entry keys that must survive whatever the
+        budget says (the sweep passes every entry it touched this run,
+        so a tight budget can never evict the working set out from
+        under the caller that just produced it).  Entries without a
+        ``saved_at`` stamp sort oldest.  Returns the evicted keys.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        protect = protect or set()
+        entries = self.entries()
+        sizes = {e["key"]: self.entry_bytes(e["key"]) for e in entries}
+        total = sum(sizes.values())
+        evicted: list[str] = []
+        for entry in sorted(entries,
+                            key=lambda e: e.get("saved_at", 0.0)):
+            if total <= max_bytes:
+                break
+            key = entry["key"]
+            if key in protect:
+                continue
+            shutil.rmtree(os.path.join(self.root, key),
+                          ignore_errors=True)
+            total -= sizes[key]
+            evicted.append(key)
+        return evicted
+
     def invalidate(self, spec: WorkloadSpec, scale: Scale) -> bool:
         """Delete the entry for (spec, scale); True if one existed."""
         directory = self.entry_dir(spec, scale)

@@ -175,6 +175,15 @@ def run_sweep(workloads, scale: Scale, store: WorkloadStore | None = None,
 # CLI
 # ---------------------------------------------------------------------------
 
+def _evict(store: WorkloadStore, max_bytes: int,
+           protect: set[str]) -> None:
+    evicted = store.evict_lru(max_bytes, protect=protect)
+    for key in evicted:
+        print(f"[evict] {key}")
+    print(f"[evict] {store.root}: removed {len(evicted)} entries, "
+          f"{store.size_bytes()} bytes kept (budget {max_bytes})")
+
+
 def _resolve_names(parser: argparse.ArgumentParser,
                    args: argparse.Namespace) -> list[str]:
     if args.all:
@@ -223,6 +232,12 @@ def main(argv=None) -> int:
                              "corrupt/stale entries (no retraining)")
     parser.add_argument("--wipe", action="store_true",
                         help="clear the store before sweeping")
+    parser.add_argument("--max-cache-bytes", type=int, default=None,
+                        metavar="N",
+                        help="after the sweep, evict least-recently-"
+                             "saved store entries until the store fits "
+                             "in N bytes (entries touched this run are "
+                             "never evicted)")
     parser.add_argument("--save-dir", default=None,
                         help="also write sweep.json via eval.artifacts")
     args = parser.parse_args(argv)
@@ -270,6 +285,15 @@ def main(argv=None) -> int:
         print(f"[wipe] removed {store.clear()} entries from {store.root}")
         if not (args.workloads or args.suite or args.all):
             return 0                     # standalone wipe is a valid run
+    if args.max_cache_bytes is not None:
+        if store is None:
+            parser.error("--max-cache-bytes needs --cache-dir")
+        if args.max_cache_bytes < 0:
+            parser.error("--max-cache-bytes must be >= 0")
+        if not (args.workloads or args.suite or args.all):
+            # standalone eviction pass: nothing ran, nothing protected
+            _evict(store, args.max_cache_bytes, set())
+            return 0
 
     names = _resolve_names(parser, args)
     if args.jobs > 1 and store is None:
@@ -279,6 +303,13 @@ def main(argv=None) -> int:
     report = run_sweep(names, SCALES[args.scale], store=store,
                        jobs=args.jobs, echo=print)
     print(report.summary())
+    if args.max_cache_bytes is not None:
+        # every entry this run touched (trained or read) is protected:
+        # the budget trims history, never the working set
+        touched = {WorkloadStore.key(get_workload(name),
+                                     SCALES[args.scale])
+                   for name in names}
+        _evict(store, args.max_cache_bytes, touched)
     if args.save_dir:
         from .artifacts import save_sweep_report
         print(f"[saved {save_sweep_report(report, args.save_dir)}]")

@@ -189,6 +189,17 @@ class PrunedSelfAttention(AttentionBase):
         if int(lengths.max()) >= buf_k.shape[2]:
             raise ValueError("kv_cache buffer capacity exhausted "
                              f"({buf_k.shape[2]} slots)")
+        capacities = kv_cache.get("capacities")
+        if capacities is not None:
+            # per-stream (request-derived) capacities: a stream may
+            # never outgrow the K/V budget its own request implies,
+            # regardless of how much shared buffer is left
+            over = lengths >= np.asarray(capacities)
+            if over.any():
+                row = int(np.argmax(over))
+                raise ValueError(
+                    f"stream in row {row} exhausted its per-stream KV "
+                    f"capacity ({int(np.asarray(capacities)[row])} rows)")
         rows = np.arange(k.shape[0])
         buf_k[rows, :, lengths] = k.data[:, :, 0]
         buf_v[rows, :, lengths] = v.data[:, :, 0]
@@ -206,7 +217,10 @@ class PrunedSelfAttention(AttentionBase):
           attention runs with S_q = x's sequence length against the
           full history.
         * scatter — dict with "k"/"v" float buffers (B, H, cap, Dh)
-          plus "lengths" (B,) per-stream history sizes.  This step's
+          plus "lengths" (B,) per-stream history sizes and optionally
+          "capacities" (B,) per-stream row budgets (request-derived
+          limits enforced before the shared buffer runs out).  This
+          step's
           single new K/V row is written at each stream's own length, so
           streams of different ages coalesce into one padded batch
           while every row keeps the exact bit pattern it would have

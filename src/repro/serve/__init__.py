@@ -1,15 +1,21 @@
 """Batched serving: async request queue + dynamic batcher with
-per-stream KV caches in front of ``PrunedInferenceEngine``."""
+per-stream KV caches in front of ``PrunedInferenceEngine``; stream
+scheduling is round-based or continuous (``continuous=True``), and
+``ModelRouter`` fronts several engines behind one queue discipline."""
 
 from .aio import AsyncServingEngine
 from .batcher import BatchPolicy, CoalescedBatch, DynamicBatcher, \
     QueuedRequest, coalesce
 from .engine import ServeResult, ServingEngine, ServingStats
 from .hardware import HardwareTotals, slice_record
-from .streams import StreamState, stack_caches, unstack_caches
+from .router import ModelRouter
+from .scheduler import SchedulerConfig, StepPlan, StepPlanner
+from .streams import KVSlotBuffer, StreamState, stack_caches, \
+    unstack_caches
 
 __all__ = ["AsyncServingEngine", "BatchPolicy", "CoalescedBatch",
            "DynamicBatcher", "QueuedRequest", "coalesce", "ServeResult",
            "ServingEngine", "ServingStats", "HardwareTotals",
-           "slice_record", "StreamState", "stack_caches",
+           "slice_record", "ModelRouter", "SchedulerConfig", "StepPlan",
+           "StepPlanner", "KVSlotBuffer", "StreamState", "stack_caches",
            "unstack_caches"]

@@ -3,18 +3,23 @@
 By default builds a small pruned classifier and a causal LM; with
 ``--engine-dir`` it instead serves any saved
 ``PrunedInferenceEngine.from_directory`` snapshot (e.g. an entry of the
-eval store, or anything ``engine.save`` wrote).  Pushes a burst of
-mixed-length requests / generation streams through the dynamic batcher
-and prints per-request results plus aggregate hardware accounting
-(cycles and energy charged per request even though the traffic was
-served coalesced).  ``--kernel-backend`` picks which bit-serial kernel
-backend produces the hardware estimates; each estimate records the
-backend that made it.
+eval store, or anything ``engine.save`` wrote) — pass ``--engine-dir``
+several times (optionally as ``NAME=PATH``) to mount a ``ModelRouter``
+over all of them behind one queue.  Pushes a burst of mixed-length
+requests / generation streams through the dynamic batcher and prints
+per-request results plus aggregate hardware accounting (cycles and
+energy charged per request even though the traffic was served
+coalesced).  ``--continuous`` swaps the round-based stream loop for
+the step-planned continuous scheduler (``--preempt-after`` enables
+preemption under queue pressure); ``--kernel-backend`` picks which
+bit-serial kernel backend produces the hardware estimates; each
+estimate records the backend that made it.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 from dataclasses import replace
 
 import numpy as np
@@ -23,7 +28,7 @@ from ..core import PrunedInferenceEngine
 from ..hw import AE_LEOPARD, get_backend
 from ..models import (ClassifierConfig, LMConfig, TransformerClassifier,
                       TransformerLM)
-from . import BatchPolicy, ServingEngine
+from . import BatchPolicy, ModelRouter, ServingEngine
 
 
 def build_classifier_engine(seed: int = 0) -> PrunedInferenceEngine:
@@ -66,14 +71,19 @@ def _random_inputs(config, length: int, rng) -> np.ndarray:
     return rng.standard_normal((length, config.input_dim))
 
 
-def classify_demo(args, engine: PrunedInferenceEngine,
-                  hw_config) -> None:
-    print("== one-shot classification traffic ==")
-    serving = ServingEngine(
+def make_serving(args, engine, hw_config) -> ServingEngine:
+    return ServingEngine(
         engine,
         BatchPolicy(max_batch_size=args.max_batch_size,
                     max_wait=args.max_wait),
-        estimate_hardware=True, hw_config=hw_config)
+        estimate_hardware=True, hw_config=hw_config,
+        continuous=args.continuous, preempt_after=args.preempt_after)
+
+
+def classify_demo(args, engine: PrunedInferenceEngine,
+                  hw_config) -> None:
+    print("== one-shot classification traffic ==")
+    serving = make_serving(args, engine, hw_config)
     config = engine.model.config
     rng = np.random.default_rng(args.seed)
     lengths = rng.integers(3, config.max_seq_len + 1, size=args.requests)
@@ -99,12 +109,10 @@ def classify_demo(args, engine: PrunedInferenceEngine,
 
 def generate_demo(args, engine: PrunedInferenceEngine,
                   hw_config) -> None:
-    print("== concurrent generation streams (per-stream KV caches) ==")
-    serving = ServingEngine(
-        engine,
-        BatchPolicy(max_batch_size=args.max_batch_size,
-                    max_wait=args.max_wait),
-        estimate_hardware=True, hw_config=hw_config)
+    scheduler = "continuous" if args.continuous else "round-based"
+    print(f"== concurrent generation streams ({scheduler} scheduler, "
+          "per-stream KV caches) ==")
+    serving = make_serving(args, engine, hw_config)
     config = engine.model.config
     rng = np.random.default_rng(args.seed)
     prompt_cap = max(2, min(9, config.max_seq_len // 2))
@@ -130,6 +138,53 @@ def generate_demo(args, engine: PrunedInferenceEngine,
           f"{stats.hardware.runtime_ns / 1e3:.1f} us "
           f"({stats.hardware.speedup_vs_baseline:.2f}x cycles, "
           f"{stats.hardware.energy_reduction:.2f}x energy vs baseline)")
+    if args.continuous:
+        print(f"     scheduler: {stats.admitted} admissions, "
+              f"{stats.preemptions} preemptions, "
+              f"{stats.resumes} resumes over {stats.steps} planned steps")
+
+
+def router_demo(args, engines: dict[str, PrunedInferenceEngine],
+                hw_config) -> None:
+    print(f"== multi-model router ({len(engines)} engines, shared "
+          f"step budget {args.max_batch_size}) ==")
+    router = ModelRouter(
+        {name: make_serving(args, engine, hw_config)
+         for name, engine in engines.items()},
+        step_budget=args.max_batch_size)
+    rng = np.random.default_rng(args.seed)
+    ids: list[tuple[str, int]] = []
+    for name, engine in engines.items():
+        config = engine.model.config
+        if hasattr(engine.model, "decode_step"):
+            prompt_cap = max(2, min(9, config.max_seq_len // 2))
+            for length in rng.integers(1, prompt_cap, size=args.streams):
+                prompt = rng.integers(1, config.vocab_size,
+                                      size=int(length))
+                ids.append((name, router.open_stream(
+                    prompt, args.new_tokens, model=name)))
+        else:
+            lengths = rng.integers(3, config.max_seq_len + 1,
+                                   size=args.requests)
+            for length in lengths:
+                ids.append((name, router.submit(
+                    _random_inputs(config, int(length), rng),
+                    model=name)))
+    router.drain()
+    for name, request_id in ids:
+        result = router.finish(request_id)
+        hw = result.hardware
+        what = (f"{len(result.tokens)} tokens" if result.kind == "generate"
+                else f"class {result.prediction}")
+        print(f"  [{name}] request {request_id}: {what}  "
+              f"{hw.runtime_ns:8.1f} ns "
+              f"({hw.speedup_vs_baseline:.2f}x, kernel "
+              f"{hw.kernel_backend})")
+    for name, stats in router.stats.items():
+        print(f"  -> {name}: {stats.completed} served, "
+              f"{stats.batches} batches (mean size "
+              f"{stats.mean_batch_size:.1f}), "
+              f"{stats.hardware.runtime_ns / 1e3:.1f} us total")
 
 
 def main(argv=None) -> None:
@@ -138,9 +193,21 @@ def main(argv=None) -> None:
         description="batched serving demo over the pruned engine")
     parser.add_argument("--mode", choices=["classify", "generate", "both"],
                         default="both")
-    parser.add_argument("--engine-dir", default=None,
+    parser.add_argument("--engine-dir", action="append", default=None,
+                        metavar="[NAME=]PATH",
                         help="serve a saved PrunedInferenceEngine "
-                             "snapshot instead of the built-in toys")
+                             "snapshot instead of the built-in toys; "
+                             "repeat to mount a multi-model router "
+                             "(NAME defaults to the directory name)")
+    parser.add_argument("--continuous", action="store_true",
+                        help="continuous-batching stream scheduler "
+                             "(admit into free decode slots each step) "
+                             "instead of round-based")
+    parser.add_argument("--preempt-after", type=int, default=None,
+                        metavar="STEPS",
+                        help="continuous mode: preempt streams that ran "
+                             "this many decode steps when the waiting "
+                             "queue is pressured (default: never)")
     parser.add_argument("--requests", type=int, default=12,
                         help="one-shot requests to submit (classify)")
     parser.add_argument("--streams", type=int, default=6,
@@ -159,11 +226,25 @@ def main(argv=None) -> None:
     if args.kernel_backend:
         get_backend(args.kernel_backend)      # typo -> error before traffic
         hw_config = replace(AE_LEOPARD, kernel_backend=args.kernel_backend)
+    if args.preempt_after is not None and not args.continuous:
+        parser.error("--preempt-after needs --continuous")
 
     if args.engine_dir:
-        engine = load_engine(args.engine_dir)
+        engines: dict[str, PrunedInferenceEngine] = {}
+        for spec in args.engine_dir:
+            name, _, path = spec.rpartition("=")
+            path = path or spec
+            name = name or os.path.basename(os.path.normpath(path))
+            if name in engines:
+                raise SystemExit(f"error: duplicate model name {name!r}; "
+                                 "disambiguate with NAME=PATH")
+            engines[name] = load_engine(path)
+        if len(engines) > 1:
+            router_demo(args, engines, hw_config)
+            return
+        (directory,), (engine,) = args.engine_dir, engines.values()
         generative = hasattr(engine.model, "decode_step")
-        print(f"[engine] {args.engine_dir}: "
+        print(f"[engine] {directory}: "
               f"{type(engine.model).__name__} "
               f"({'generate' if generative else 'classify'} traffic)")
         if generative:

@@ -1,9 +1,15 @@
 """Awaitable front door over the synchronous serving core.
 
 Concurrent clients ``await submit(...)``; a single runner task watches
-the arrival queue and steps the core engine whenever a batch fills or
-the oldest request's ``max_wait`` deadline passes — so requests from
+the arrival queue and steps the core whenever a batch fills or the
+oldest request's ``max_wait`` deadline passes — so requests from
 independent coroutines coalesce into shared batches.
+
+The core may be a single :class:`~repro.serve.engine.ServingEngine`
+or a :class:`~repro.serve.router.ModelRouter` — both expose the same
+submit/step/finish surface; with a router, ``submit(..., model=...)``
+routes each awaiting client to its model while every model's queue is
+driven by the one runner task.
 """
 
 from __future__ import annotations
@@ -19,13 +25,14 @@ from .engine import ServeResult, ServingEngine
 class AsyncServingEngine:
     """asyncio wrapper: ``async with AsyncServingEngine(core) as s: ...``"""
 
-    def __init__(self, serving: ServingEngine, clock=time.monotonic):
+    def __init__(self, serving, clock=time.monotonic):
         self._serving = serving
         self._clock = clock
         self._futures: dict[int, asyncio.Future] = {}
         self._wake: asyncio.Event | None = None
         self._task: asyncio.Task | None = None
         self._closed = False
+        self._broken = False
 
     async def __aenter__(self) -> "AsyncServingEngine":
         self._wake = asyncio.Event()
@@ -48,22 +55,57 @@ class AsyncServingEngine:
         self._futures.clear()
 
     async def submit(self, inputs: np.ndarray,
-                     mask: np.ndarray | None = None) -> ServeResult:
+                     mask: np.ndarray | None = None,
+                     model: str | None = None) -> ServeResult:
         """Queue one request and wait for its result; requests from
-        concurrent tasks are dynamically batched together."""
+        concurrent tasks are dynamically batched together.  ``model``
+        routes the request when the core is a ``ModelRouter``."""
         if self._task is None:
             raise RuntimeError("engine not started; use 'async with'")
-        request_id = self._serving.submit(inputs, mask)
+        if model is not None:
+            request_id = self._serving.submit(inputs, mask, model=model)
+        else:
+            request_id = self._serving.submit(inputs, mask)
         future = asyncio.get_running_loop().create_future()
         self._futures[request_id] = future
         self._wake.set()
         return await future
 
+    async def open_stream(self, prompt: np.ndarray, max_new_tokens: int,
+                          model: str | None = None) -> ServeResult:
+        """Open a generation stream and wait for its full result."""
+        if self._task is None:
+            raise RuntimeError("engine not started; use 'async with'")
+        if model is not None:
+            request_id = self._serving.open_stream(prompt, max_new_tokens,
+                                                   model=model)
+        else:
+            request_id = self._serving.open_stream(prompt, max_new_tokens)
+        future = asyncio.get_running_loop().create_future()
+        self._futures[request_id] = future
+        self._wake.set()
+        return await future
+
+    def _stream_pending(self) -> bool:
+        if self._broken:
+            # a scheduler-level failure already failed every waiting
+            # client; stepping the same broken streams again would
+            # spin (or hang close()) forever
+            return False
+        serving = self._serving
+        engines = (serving.engines.values()
+                   if hasattr(serving, "engines") else [serving])
+        return any(not s.done for engine in engines
+                   for s in engine._streams.values())
+
     async def _run(self) -> None:
         while not self._closed:
             now = self._clock()
-            if self._serving.queue_ready(now):
+            if self._serving.queue_ready(now) or self._stream_pending():
                 self._step(lambda: self._serving.step(now))
+                # a decode/prefill step is real work; yield so clients
+                # can enqueue between steps instead of blocking the loop
+                await asyncio.sleep(0)
                 continue
             deadline = self._serving.next_deadline()
             try:
@@ -77,6 +119,8 @@ class AsyncServingEngine:
             self._wake.clear()
         # serve whatever is still queued before shutting down
         self._step(self._serving.flush)
+        while self._stream_pending():
+            self._step(self._serving.step)
 
     def _step(self, advance) -> None:
         """Advance the core engine; a serve-time error must fail the
@@ -86,6 +130,11 @@ class AsyncServingEngine:
         try:
             completed = advance()
         except Exception as error:       # noqa: BLE001 — fanned out
+            # stream errors are not contained per request the way
+            # classify batch errors are, so a failure here may leave
+            # live streams that can never finish — stop stepping them
+            if self._stream_pending():
+                self._broken = True
             for future in self._futures.values():
                 if not future.done():
                     future.set_exception(error)

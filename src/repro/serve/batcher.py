@@ -57,6 +57,59 @@ class BatchPolicy:
                     return bucket
         return pad_to
 
+    @classmethod
+    def from_observed(cls, lengths, max_buckets: int = 4,
+                      **kwargs) -> "BatchPolicy":
+        """Auto-tune the bucket ladder from an observed request-length
+        distribution.
+
+        Picks at most ``max_buckets`` pad widths minimizing the total
+        padded tokens the observed traffic would have paid (each
+        request pads to the smallest bucket that fits it), via an exact
+        O(u² · k) dynamic program over the ``u`` unique lengths.  The
+        widest bucket is always ``max(lengths)``, so the returned
+        ladder serves every observed length.  Remaining ``BatchPolicy``
+        fields pass through ``kwargs``.
+        """
+        lengths = [int(n) for n in lengths]
+        if not lengths or any(n < 1 for n in lengths):
+            raise ValueError("from_observed needs positive lengths")
+        if max_buckets < 1:
+            raise ValueError("max_buckets must be >= 1")
+        unique = sorted(set(lengths))
+        counts = {n: lengths.count(n) for n in unique}
+        if len(unique) <= max_buckets:
+            return cls(buckets=tuple(unique), **kwargs)
+
+        # cost[i][j]: padded tokens when unique[i..j] all pad to
+        # unique[j]; best[k][j]: min cost covering unique[0..j] with k
+        # buckets, the last at unique[j]
+        u = len(unique)
+        weight = [counts[n] for n in unique]
+        prefix = [0] * (u + 1)
+        for i, w in enumerate(weight):
+            prefix[i + 1] = prefix[i] + w
+        cost = [[(prefix[j + 1] - prefix[i]) * unique[j]
+                 for j in range(u)] for i in range(u)]
+        best = [[float("inf")] * u for _ in range(max_buckets + 1)]
+        choice = [[-1] * u for _ in range(max_buckets + 1)]
+        for j in range(u):
+            best[1][j] = cost[0][j]
+        for k in range(2, max_buckets + 1):
+            for j in range(k - 1, u):
+                for prev in range(k - 2, j):
+                    total = best[k - 1][prev] + cost[prev + 1][j]
+                    if total < best[k][j]:
+                        best[k][j] = total
+                        choice[k][j] = prev
+        buckets = []
+        k, j = max_buckets, u - 1
+        while j >= 0 and k >= 1:
+            buckets.append(unique[j])
+            j = choice[k][j]
+            k -= 1
+        return cls(buckets=tuple(sorted(buckets)), **kwargs)
+
 
 @dataclass
 class QueuedRequest:
@@ -93,15 +146,51 @@ class DynamicBatcher:
     ``max_batch_size`` or its oldest request has waited ``max_wait``;
     pops always take a queue's oldest requests first, so no request is
     starved by later arrivals.
+
+    Generation streams wait in a separate FIFO admission queue that the
+    scheduler drains explicitly: the round-based loop pops everything
+    each step, while the continuous planner pops exactly as many
+    streams as it has free decode slots (``pop_streams``), and
+    preempted streams re-enter at the back so fresh arrivals are never
+    starved by swapped-out residents.  Under a model router each model
+    owns its own batcher, so every queue here — buckets and streams —
+    is per-model by construction.
     """
 
     def __init__(self, policy: BatchPolicy, pad_to: int):
         self.policy = policy
         self.pad_to = pad_to
         self._queues: dict[int, deque[QueuedRequest]] = {}
+        self._streams: deque = deque()
 
     def __len__(self) -> int:
         return sum(len(q) for q in self._queues.values())
+
+    # -- stream admission queue (planner-driven) ------------------------
+    def add_stream(self, stream) -> None:
+        """Enqueue a stream for admission (new arrivals and preempted
+        streams alike join the back — FIFO by enqueue time)."""
+        self._streams.append(stream)
+
+    def stream_count(self) -> int:
+        return len(self._streams)
+
+    def pop_streams(self, limit: int | None = None) -> list:
+        """Dequeue up to ``limit`` waiting streams (all, if None)."""
+        if limit is None:
+            limit = len(self._streams)
+        out = []
+        while self._streams and len(out) < limit:
+            out.append(self._streams.popleft())
+        return out
+
+    def discard_stream(self, stream_id: int) -> bool:
+        """Drop a waiting stream (client hung up before admission)."""
+        for stream in self._streams:
+            if stream.stream_id == stream_id:
+                self._streams.remove(stream)
+                return True
+        return False
 
     def add(self, request: QueuedRequest) -> None:
         bucket = self.policy.bucket_for(request.length, self.pad_to)

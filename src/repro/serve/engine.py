@@ -7,18 +7,30 @@ the submit/step/finish lifecycle:
 * one-shot classification requests (``submit``) — coalesced into
   fixed-width padded batches under the ``BatchPolicy``;
 * autoregressive generation streams (``open_stream``) — prefilled in
-  coalesced batches, then decoded one token per ``step`` with
-  per-stream KV caches that are stacked into shared buffers for each
-  coalesced decode round and evicted when the stream finishes.
+  coalesced batches, then decoded one token per ``step``.
+
+Two stream schedulers share that lifecycle:
+
+* **round-based** (default): every waiting stream prefills
+  immediately, and every live stream decodes each step in
+  ``max_batch_size`` chunks stacked into fresh shared buffers;
+* **continuous** (``continuous=True``): a :class:`StepPlanner` admits
+  waiting streams directly into free decode slots of a persistent
+  :class:`~repro.serve.streams.KVSlotBuffer` (chunked prefill
+  piggybacked alongside the running streams' decode tokens), evicts
+  finished streams in place, and under queue pressure preempts the
+  longest-running streams to swappable per-stream KV state.
 
 Everything is bit-stable by construction: batches pad to a fixed
 width, per-stream histories stay left-aligned, and per-request
 hardware estimates are computed from per-request record slices — so a
 request's outputs, pruning masks, and cycle/energy estimates do not
-depend on which other requests happened to be coalesced with it.
+depend on which other requests happened to be coalesced with it, nor
+on which scheduler (or slot) served it.
 
 The core is synchronous and clock-injectable (tests drive a virtual
-clock); :mod:`repro.serve.aio` adds the awaitable front door.
+clock); :mod:`repro.serve.aio` adds the awaitable front door and
+:mod:`repro.serve.router` the multi-model front door.
 """
 
 from __future__ import annotations
@@ -31,7 +43,9 @@ import numpy as np
 from .batcher import BatchPolicy, CoalescedBatch, DynamicBatcher, \
     QueuedRequest, coalesce
 from .hardware import HardwareTotals, slice_record
-from .streams import StreamState, stack_caches, unstack_caches
+from .scheduler import SchedulerConfig, StepPlanner
+from .streams import KVSlotBuffer, StreamState, stack_caches, \
+    unstack_caches
 
 
 @dataclass
@@ -52,19 +66,37 @@ class ServeResult:
 
 @dataclass
 class ServingStats:
-    """Aggregate view of the traffic served so far."""
+    """Aggregate view of the traffic served so far.
+
+    Batch counters tick per model forward; the step counters tick per
+    scheduler step — under the continuous scheduler one step may carry
+    a prefill forward *and* a decode forward, and the per-step
+    admission/preemption tallies are the scheduler's observability
+    surface.
+    """
 
     completed: int = 0
     batches: int = 0
     coalesced_requests: int = 0
     decode_rounds: int = 0
     max_batch_size: int = 0
+    steps: int = 0
+    admitted: int = 0
+    preemptions: int = 0
+    resumes: int = 0
     hardware: HardwareTotals = field(default_factory=HardwareTotals)
 
     def record_batch(self, size: int) -> None:
         self.batches += 1
         self.coalesced_requests += size
         self.max_batch_size = max(self.max_batch_size, size)
+
+    def record_step(self, admitted: int = 0, preempted: int = 0,
+                    resumed: int = 0) -> None:
+        self.steps += 1
+        self.admitted += admitted
+        self.preemptions += preempted
+        self.resumes += resumed
 
     @property
     def mean_batch_size(self) -> float:
@@ -76,7 +108,14 @@ class ServingEngine:
 
     def __init__(self, engine, policy: BatchPolicy | None = None,
                  estimate_hardware: bool = False, hw_config=None,
-                 clock=time.monotonic):
+                 clock=time.monotonic, continuous: bool = False,
+                 preempt_after: int | None = None, pressure: int = 1,
+                 slots: int | None = None):
+        """``continuous=True`` swaps the round-based stream loop for
+        the step-planned continuous scheduler: ``slots`` decode slots
+        (default ``max_batch_size``), preempting streams that ran
+        ``preempt_after`` decode steps once ``pressure`` streams wait
+        beyond the free slots (``None`` disables preemption)."""
         self.engine = engine
         self.policy = policy or BatchPolicy()
         self._estimate_hw = estimate_hardware
@@ -101,7 +140,12 @@ class ServingEngine:
         self._prefill_width = min(self._pad_to, self._capacity)
         self._per_position = getattr(config, "head", None) == "span"
         self._batcher = DynamicBatcher(self.policy, self._pad_to)
-        self._pending_streams: list[StreamState] = []
+        self.continuous = continuous
+        self._planner = StepPlanner(SchedulerConfig(
+            max_slots=slots or self.policy.max_batch_size,
+            preempt_after=preempt_after,
+            pressure=pressure)) if continuous else None
+        self._slots: KVSlotBuffer | None = None   # built on first admit
         self._streams: dict[int, StreamState] = {}
         self._results: dict[int, ServeResult] = {}
         self._next_id = 0
@@ -145,8 +189,11 @@ class ServingEngine:
         stream = StreamState(
             stream_id=self._allocate_id(), tokens=prompt.copy(),
             max_new_tokens=max_new_tokens,
-            arrival=self._clock() if now is None else now)
-        self._pending_streams.append(stream)
+            arrival=self._clock() if now is None else now,
+            # request-derived KV budget: never a function of the batch
+            kv_capacity=min(self._capacity,
+                            prompt.size + max_new_tokens))
+        self._batcher.add_stream(stream)
         self._streams[stream.stream_id] = stream
         return stream.stream_id
 
@@ -158,20 +205,24 @@ class ServingEngine:
         return self._batcher.ready(now)
 
     def has_pending(self) -> bool:
-        return bool(len(self._batcher) or self._pending_streams
+        return bool(len(self._batcher)
                     or any(not s.done for s in self._streams.values()))
 
     # -- advancing ------------------------------------------------------
-    def step(self, now: float | None = None) -> list[int]:
-        """One scheduling round: flush every due classification batch,
-        prefill newly opened streams, decode one token for every live
-        stream.  Returns ids completed during this step."""
+    def step(self, now: float | None = None,
+             budget: int | None = None) -> list[int]:
+        """One scheduler step: flush every due classification batch,
+        then advance the streams — round-based (prefill everything,
+        decode every live stream) or continuous (plan admissions /
+        preemptions, decode the slot batch).  ``budget`` caps the
+        continuous scheduler's decode slots this step (the model
+        router's shared step budget).  Returns ids completed during
+        this step."""
         now = self._clock() if now is None else now
         completed: list[int] = []
         while self._batcher.ready(now):
             completed += self._serve_classify(*self._batcher.pop(now))
-        completed += self._prefill_pending()
-        completed += self._decode_round()
+        completed += self._stream_step(budget)
         return completed
 
     def flush(self) -> list[int]:
@@ -185,10 +236,8 @@ class ServingEngine:
     def drain(self) -> list[int]:
         """Run everything pending to completion (demo / test helper)."""
         completed = self.flush()
-        while self._pending_streams or any(
-                not s.done for s in self._streams.values()):
-            completed += self._prefill_pending()
-            completed += self._decode_round()
+        while any(not s.done for s in self._streams.values()):
+            completed += self._stream_step(None)
         return completed
 
     # -- completion -----------------------------------------------------
@@ -210,8 +259,9 @@ class ServingEngine:
         if stream is None:
             raise KeyError(f"unknown or still-queued request "
                            f"{request_id}")
-        self._pending_streams = [s for s in self._pending_streams
-                                 if s.stream_id != request_id]
+        self._batcher.discard_stream(request_id)
+        if stream.slot is not None:         # running in the slot buffer
+            self._slots.evict(stream)
         self._finalize_stream(stream)
         self._streams.pop(request_id, None)
         return self._results.pop(request_id)
@@ -240,15 +290,25 @@ class ServingEngine:
                 completed.append(request.request_id)
             return completed
         self.stats.record_batch(len(requests))
+        slices = estimates = None
+        if records is not None:
+            # per-step accounting: slice this batch's records into one
+            # group per request and charge them in a single shared-
+            # simulator pass (each group's estimate is bit-identical
+            # to a solo estimate of that request)
+            slices = [[slice_record(r, i, int(batch.lengths[i]),
+                                    int(batch.lengths[i]))
+                       for r in records]
+                      for i in range(len(requests))]
+            estimates = self.engine.estimate_many(slices,
+                                                  self._hw_config)
         completed = []
         for i, request in enumerate(requests):
             length = int(batch.lengths[i])
             estimate = sliced = None
-            if records is not None:
-                sliced = [slice_record(r, i, length, length)
-                          for r in records]
-                estimate = self.engine.estimate_from_records(
-                    sliced, self._hw_config)
+            if estimates is not None:
+                sliced = slices[i]
+                estimate = estimates[i]
                 self.stats.hardware.add(estimate)
             if self._per_position:
                 row = logits[i, :length].copy()
@@ -273,41 +333,19 @@ class ServingEngine:
         with no_grad():
             return forward(), None
 
-    def _prefill_pending(self) -> list[int]:
-        completed: list[int] = []
-        while self._pending_streams:
-            chunk = self._pending_streams[:self.policy.max_batch_size]
-            self._pending_streams = \
-                self._pending_streams[self.policy.max_batch_size:]
-            completed += self._prefill(chunk)
+    def _stream_step(self, budget: int | None) -> list[int]:
+        if self.continuous:
+            return self._continuous_step(budget)
+        completed = self._prefill_pending()
+        completed += self._decode_round()
         return completed
 
-    def _prefill(self, streams: list[StreamState]) -> list[int]:
-        model = self.engine.model
-        lengths = np.array([s.length for s in streams], dtype=np.int64)
-        tokens = np.zeros((len(streams), self._prefill_width),
-                          dtype=np.int64)
-        for i, stream in enumerate(streams):
-            tokens[i, :stream.length] = stream.tokens
-        (logits, caches), records = self._forward(
-            lambda: model.prefill(tokens, lengths))
-        self.stats.record_batch(len(streams))
-        completed = []
-        for i, stream in enumerate(streams):
-            size = int(lengths[i])
-            stream.caches = [
-                {"k": cache["k"].data[i, :, :size].copy(),
-                 "v": cache["v"].data[i, :, :size].copy()}
-                for cache in caches]
-            if records is not None:
-                stream.add_records(
-                    [slice_record(r, i, size, size) for r in records])
-            stream.batch_sizes.append(len(streams))
-            stream.append(int(logits[i].argmax()))
-            stream.last_logits = logits[i].copy()
-            if self._stream_exhausted(stream):
-                self._finalize_stream(stream)
-                completed.append(stream.stream_id)
+    # -- round-based scheduler ------------------------------------------
+    def _prefill_pending(self) -> list[int]:
+        completed: list[int] = []
+        while self._batcher.stream_count():
+            chunk = self._batcher.pop_streams(self.policy.max_batch_size)
+            completed += self._prefill(chunk)
         return completed
 
     def _decode_round(self) -> list[int]:
@@ -321,25 +359,126 @@ class ServingEngine:
             chunk = live[start:start + size]
             caches = stack_caches(chunk, self._capacity,
                                   len(model.blocks))
-            last = np.array([s.tokens[-1] for s in chunk],
-                            dtype=np.int64)
-            histories = [int(n) for n in caches[0]["lengths"]]
-            logits, records = self._forward(
-                lambda: model.decode_step(last, caches))
+            completed += self._decode(chunk, caches)
             unstack_caches(chunk, caches)
-            self.stats.decode_rounds += 1
-            self.stats.record_batch(len(chunk))
-            for i, stream in enumerate(chunk):
-                if records is not None:
-                    stream.add_records(
-                        [slice_record(r, i, 1, histories[i] + 1)
-                         for r in records])
-                stream.batch_sizes.append(len(chunk))
-                stream.append(int(logits[i].argmax()))
-                stream.last_logits = logits[i].copy()
-                if self._stream_exhausted(stream):
-                    self._finalize_stream(stream)
-                    completed.append(stream.stream_id)
+            for stream in chunk:
+                if stream.done:
+                    stream.evict()
+        return completed
+
+    # -- continuous scheduler -------------------------------------------
+    def _slot_buffer(self) -> KVSlotBuffer:
+        if self._slots is None:
+            model = self.engine.model
+            attention = model.blocks[0].attention
+            self._slots = KVSlotBuffer(
+                slots=self._planner.config.max_slots,
+                num_blocks=len(model.blocks),
+                heads=attention.num_heads,
+                head_dim=attention.head_dim,
+                capacity=self._capacity)
+        return self._slots
+
+    def _continuous_step(self, budget: int | None) -> list[int]:
+        """One planned step: preempt under pressure, admit waiting
+        streams into free slots (fresh ones prefill this step — the
+        chunked-prefill piggyback), decode the slot batch once."""
+        if (not self._batcher.stream_count()
+                and (self._slots is None or not len(self._slots))):
+            return []                   # idle: don't even allocate KV
+        slots = self._slot_buffer()
+        plan = self._planner.plan(slots.streams,
+                                  self._batcher.stream_count(), budget)
+        for stream in plan.preempt:
+            slots.swap_out(stream)
+            self._batcher.add_stream(stream)
+        admitted = self._batcher.pop_streams(plan.admit_slots)
+        resumed = [s for s in admitted if s.swapped]
+        fresh = [s for s in admitted if not s.swapped]
+        for stream in resumed:
+            caches, stream.caches = stream.caches, None
+            slots.admit(stream, caches)
+        completed: list[int] = []
+        if fresh:
+            completed += self._prefill(fresh, slots=slots)
+        self.stats.record_step(admitted=len(admitted),
+                               preempted=len(plan.preempt),
+                               resumed=len(resumed))
+        if len(slots):
+            caches = slots.batch()
+            chunk = list(slots.streams)
+            completed += self._decode(chunk, caches)
+            slots.advance(caches)
+            for stream in chunk:
+                if stream.done:
+                    slots.evict(stream)
+        return completed
+
+    # -- shared model-facing sub-steps ----------------------------------
+    def _prefill(self, streams: list[StreamState],
+                 slots: KVSlotBuffer | None = None) -> list[int]:
+        """Coalesced prompt prefill; survivors keep their caches
+        per-stream (round-based) or move straight into the slot buffer
+        (continuous)."""
+        model = self.engine.model
+        lengths = np.array([s.length for s in streams], dtype=np.int64)
+        tokens = np.zeros((len(streams), self._prefill_width),
+                          dtype=np.int64)
+        for i, stream in enumerate(streams):
+            tokens[i, :stream.length] = stream.tokens
+        (logits, caches), records = self._forward(
+            lambda: model.prefill(tokens, lengths))
+        self.stats.record_batch(len(streams))
+        completed = []
+        for i, stream in enumerate(streams):
+            size = int(lengths[i])
+            trimmed = [
+                {"k": cache["k"].data[i, :, :size],
+                 "v": cache["v"].data[i, :, :size]}
+                for cache in caches]
+            if records is not None:
+                stream.add_records(
+                    [slice_record(r, i, size, size) for r in records])
+            stream.batch_sizes.append(len(streams))
+            stream.append(int(logits[i].argmax()))
+            stream.last_logits = logits[i].copy()
+            if self._stream_exhausted(stream):
+                self._finalize_stream(stream)
+                completed.append(stream.stream_id)
+            elif slots is not None:
+                slots.admit(stream, trimmed)
+            else:
+                stream.caches = [{"k": c["k"].copy(), "v": c["v"].copy()}
+                                 for c in trimmed]
+        return completed
+
+    def _decode(self, chunk: list[StreamState],
+                caches: list[dict]) -> list[int]:
+        """One coalesced decode forward over ``chunk`` (whose rows are
+        already stacked in ``caches``); appends tokens, slices records,
+        and finalizes exhausted streams (cache release is the
+        scheduler's job — rows were sliced against this forward's
+        composition)."""
+        model = self.engine.model
+        last = np.array([s.tokens[-1] for s in chunk], dtype=np.int64)
+        histories = [int(n) for n in caches[0]["lengths"]]
+        logits, records = self._forward(
+            lambda: model.decode_step(last, caches))
+        self.stats.decode_rounds += 1
+        self.stats.record_batch(len(chunk))
+        completed = []
+        for i, stream in enumerate(chunk):
+            if records is not None:
+                stream.add_records(
+                    [slice_record(r, i, 1, histories[i] + 1)
+                     for r in records])
+            stream.batch_sizes.append(len(chunk))
+            stream.steps_since_admit += 1
+            stream.append(int(logits[i].argmax()))
+            stream.last_logits = logits[i].copy()
+            if self._stream_exhausted(stream):
+                self._finalize_stream(stream)
+                completed.append(stream.stream_id)
         return completed
 
     def _stream_exhausted(self, stream: StreamState) -> bool:

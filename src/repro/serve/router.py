@@ -1,0 +1,203 @@
+"""Multi-model router: several serving engines behind one front door.
+
+``ModelRouter`` owns one :class:`~repro.serve.engine.ServingEngine`
+per model name (each wrapping its own
+:class:`~repro.core.PrunedInferenceEngine`, with its own per-model
+bucket queues and stream queue) and presents the single-engine
+surface — ``submit`` / ``open_stream`` / ``step`` / ``finish`` /
+``drain`` — with a ``model=`` argument for routing.  Request ids are
+router-global, so callers never juggle per-engine id spaces.
+
+Scheduling is budget-shared: each router step splits ``step_budget``
+decode slots across the engines that have stream work, proportionally
+to their load with a rotating remainder (deficit round-robin), and
+passes each engine its share — under the continuous scheduler an
+engine whose share shrank below its running set swaps the overflow
+out to per-stream KV state until pressure moves elsewhere.  Because
+every engine keeps its own pad widths and KV buffers, routing is
+bit-invisible: a request's outputs and hardware estimates are
+identical to serving it on that model's engine alone.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .engine import ServeResult, ServingEngine
+
+
+class ModelRouter:
+    """Route requests across named serving engines with one queue
+    discipline and a shared per-step decode budget."""
+
+    is_router = True
+
+    def __init__(self, engines: dict[str, ServingEngine],
+                 step_budget: int | None = None,
+                 clock=time.monotonic):
+        if not engines:
+            raise ValueError("ModelRouter needs at least one engine")
+        self.engines = dict(engines)
+        self.step_budget = step_budget
+        self._clock = clock
+        self._routes: dict[int, tuple[str, int]] = {}
+        self._next_id = 0
+        self._turn = 0                   # rotating remainder pointer
+
+    # -- routing --------------------------------------------------------
+    def _engine(self, model: str | None) -> tuple[str, ServingEngine]:
+        if model is None:
+            if len(self.engines) == 1:
+                return next(iter(self.engines.items()))
+            raise ValueError("several models are mounted; pass model= "
+                             f"(one of {sorted(self.engines)})")
+        try:
+            return model, self.engines[model]
+        except KeyError:
+            raise KeyError(f"unknown model {model!r}; mounted models: "
+                           f"{sorted(self.engines)}") from None
+
+    def _track(self, model: str, inner_id: int) -> int:
+        router_id = self._next_id
+        self._next_id += 1
+        self._routes[router_id] = (model, inner_id)
+        return router_id
+
+    def submit(self, inputs: np.ndarray, mask: np.ndarray | None = None,
+               model: str | None = None, now: float | None = None) -> int:
+        name, engine = self._engine(model)
+        now = self._clock() if now is None else now
+        return self._track(name, engine.submit(inputs, mask, now=now))
+
+    def open_stream(self, prompt: np.ndarray, max_new_tokens: int,
+                    model: str | None = None,
+                    now: float | None = None) -> int:
+        name, engine = self._engine(model)
+        now = self._clock() if now is None else now
+        return self._track(name, engine.open_stream(prompt,
+                                                    max_new_tokens,
+                                                    now=now))
+
+    # -- queue introspection (same surface as ServingEngine) ------------
+    def next_deadline(self) -> float | None:
+        deadlines = [d for engine in self.engines.values()
+                     if (d := engine.next_deadline()) is not None]
+        return min(deadlines) if deadlines else None
+
+    def queue_ready(self, now: float) -> bool:
+        return any(engine.queue_ready(now)
+                   for engine in self.engines.values())
+
+    def has_pending(self) -> bool:
+        return any(engine.has_pending()
+                   for engine in self.engines.values())
+
+    # -- advancing ------------------------------------------------------
+    def _stream_demand(self, engine: ServingEngine) -> int:
+        if engine.continuous:
+            running = (len(engine._slots)
+                       if engine._slots is not None else 0)
+        else:                            # round-based: live = has caches
+            running = sum(1 for s in engine._streams.values()
+                          if not s.done and s.caches is not None)
+        return running + engine._batcher.stream_count()
+
+    def _shares(self, demands: dict[str, int]) -> dict[str, int]:
+        """Split the step budget across engines with stream demand:
+        proportional shares (each capped by its demand, min 1 so every
+        model makes progress), the leftover dealt round-robin from a
+        rotating start so no model systematically wins ties.  The
+        shares never exceed the budget (except the unavoidable
+        one-slot-per-model floor when more models than slots have
+        work)."""
+        active = {name: d for name, d in demands.items() if d > 0}
+        if not active or self.step_budget is None:
+            return {name: None for name in active}
+        budget = max(self.step_budget, len(active))
+        total = sum(active.values())
+        shares = {name: min(d, max(1, budget * d // total))
+                  for name, d in active.items()}
+        # the min-1 floor can push the sum past the budget: claw back
+        # from the largest shares (they were floored least) until the
+        # budget holds again
+        overrun = sum(shares.values()) - budget
+        for name in sorted(active, key=lambda n: (-shares[n], n)):
+            if overrun <= 0:
+                break
+            give_back = min(shares[name] - 1, overrun)
+            shares[name] -= give_back
+            overrun -= give_back
+        # deal any leftover budget round-robin
+        leftover = budget - sum(shares.values())
+        names = sorted(active)
+        start = self._turn % len(names)
+        self._turn += 1
+        index = 0
+        while leftover > 0 and index < 4 * len(names):
+            name = names[(start + index) % len(names)]
+            if shares[name] < active[name]:
+                shares[name] += 1
+                leftover -= 1
+            index += 1
+        return shares
+
+    def step(self, now: float | None = None) -> list[int]:
+        """Advance every mounted engine one step, splitting the shared
+        decode budget across the models with stream work.  Returns
+        router-global ids completed this step."""
+        now = self._clock() if now is None else now
+        demands = {name: self._stream_demand(engine)
+                   for name, engine in self.engines.items()}
+        shares = self._shares(demands)
+        completed: list[int] = []
+        for name in sorted(self.engines):
+            engine = self.engines[name]
+            done = engine.step(now, budget=shares.get(name))
+            completed += self._completed_ids(name, done)
+        return completed
+
+    def flush(self) -> list[int]:
+        completed: list[int] = []
+        for name in sorted(self.engines):
+            completed += self._completed_ids(name,
+                                             self.engines[name].flush())
+        return completed
+
+    def drain(self) -> list[int]:
+        completed = self.flush()
+        while self.has_pending():
+            completed += self.step()
+        return completed
+
+    def _completed_ids(self, model: str, inner_ids: list[int]
+                       ) -> list[int]:
+        by_inner = {inner: rid
+                    for rid, (name, inner) in self._routes.items()
+                    if name == model}
+        return [by_inner[inner] for inner in inner_ids
+                if inner in by_inner]
+
+    # -- completion -----------------------------------------------------
+    def result(self, request_id: int) -> ServeResult | None:
+        route = self._routes.get(request_id)
+        if route is None:
+            return None
+        model, inner = route
+        return self.engines[model].result(inner)
+
+    def finish(self, request_id: int) -> ServeResult:
+        route = self._routes.get(request_id)
+        if route is None:
+            raise KeyError(f"unknown request {request_id}")
+        model, inner = route
+        result = self.engines[model].finish(inner)
+        del self._routes[request_id]
+        return result
+
+    # -- observability --------------------------------------------------
+    @property
+    def stats(self) -> dict[str, object]:
+        return {name: engine.stats
+                for name, engine in self.engines.items()}

@@ -1,0 +1,124 @@
+"""Continuous-batching step planner: admission, eviction, preemption.
+
+The round-based scheduler prefills every waiting stream immediately and
+decodes *all* live streams each step in ``max_batch_size`` chunks — so
+mixed arrival traffic pays many partially-filled forwards (the
+remainder chunk) exactly when queue pressure is highest.  The
+:class:`StepPlanner` replaces those rounds with vLLM-style continuous
+batching over a fixed pool of decode slots:
+
+* finished streams release their slot in place (no barrier);
+* waiting streams are admitted straight into free slots — at most
+  ``free`` per step, so prefill work is *chunked* across steps and
+  piggybacks alongside the running streams' decode tokens instead of
+  stalling them;
+* when the waiting queue exceeds the pressure threshold, the
+  longest-running streams (largest ``steps_since_admit``) are
+  preempted to swappable per-stream KV state and re-enter the back of
+  the waiting queue, so fresh arrivals cannot be starved by
+  long-running residents.
+
+The planner is pure bookkeeping — it never touches model state — which
+keeps every scheduling decision deterministic and testable, and keeps
+the bit-exactness argument local to the KV buffer: whatever plan is
+chosen, each stream's kernel shapes depend only on its own request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .streams import StreamState
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Continuous-scheduler knobs (`--continuous` / `--preempt-after`).
+
+    ``max_slots``: decode slots (the running-set size; defaults to the
+    batch policy's ``max_batch_size``).
+    ``preempt_after``: decode steps a stream may run while the queue is
+    pressured before it is swapped out; ``None`` disables preemption.
+    ``pressure``: how many streams must be waiting (beyond the free
+    slots that would absorb them) before preemption kicks in.
+    """
+
+    max_slots: int
+    preempt_after: int | None = None
+    pressure: int = 1
+
+    def __post_init__(self):
+        if self.max_slots < 1:
+            raise ValueError("max_slots must be >= 1")
+        if self.preempt_after is not None and self.preempt_after < 1:
+            raise ValueError("preempt_after must be >= 1 (or None)")
+        if self.pressure < 1:
+            raise ValueError("pressure must be >= 1")
+
+
+@dataclass
+class StepPlan:
+    """One step's scheduling decisions, in execution order."""
+
+    preempt: list[StreamState] = field(default_factory=list)
+    admit_slots: int = 0                 # waiting streams to pull in
+    budget: int = 0                      # decode rows allowed this step
+
+    @property
+    def idle(self) -> bool:
+        return not self.preempt and self.admit_slots == 0
+
+
+class StepPlanner:
+    """Plans one scheduler step from queue state alone."""
+
+    def __init__(self, config: SchedulerConfig):
+        self.config = config
+
+    def plan(self, running: list[StreamState], waiting: int,
+             budget: int | None = None) -> StepPlan:
+        """Decide preemptions and admissions for this step.
+
+        ``running``: streams currently holding slots; ``waiting``: how
+        many streams sit in the admission queue; ``budget``: slots this
+        step may use (a router sharing its step budget across engines
+        passes a smaller number; default: ``max_slots``).
+        """
+        slots = self.config.max_slots
+        if budget is not None:
+            slots = max(1, min(slots, budget))
+        plan = StepPlan(budget=slots)
+
+        # forced preemption: the budget shrank below the running set
+        # (router rebalancing) — swap out the longest-running overflow
+        overflow = len(running) - slots
+        victims: list[StreamState] = []
+        if overflow > 0:
+            victims = self._longest_running(running, overflow)
+
+        free = slots - (len(running) - len(victims))
+        # pressure preemption: waiting streams beyond what free slots
+        # absorb evict residents that have held a slot long enough
+        pressured = waiting - max(free, 0)
+        if (self.config.preempt_after is not None
+                and pressured >= self.config.pressure):
+            eligible = [s for s in running if s not in victims
+                        and s.steps_since_admit
+                        >= self.config.preempt_after]
+            extra = self._longest_running(eligible,
+                                          min(pressured, len(eligible)))
+            victims += extra
+            free += len(extra)
+
+        plan.preempt = victims
+        plan.admit_slots = max(0, min(free, waiting))
+        return plan
+
+    @staticmethod
+    def _longest_running(streams: list[StreamState],
+                         count: int) -> list[StreamState]:
+        """The ``count`` longest-running streams (most decode steps
+        since admission; stream id breaks ties deterministically)."""
+        ranked = sorted(streams,
+                        key=lambda s: (-s.steps_since_admit, s.stream_id))
+        return ranked[:count]

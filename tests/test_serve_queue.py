@@ -192,6 +192,70 @@ def test_async_serve_error_fails_clients_not_runner():
     assert retry.prediction == 0           # runner survived the error
 
 
+def test_batch_policy_from_observed_auto_tunes_buckets():
+    """The tuned ladder pads the observed traffic with no more waste
+    than any same-size hand-picked ladder, always covers the longest
+    request, and short traffic stops paying the full-width tax."""
+    from itertools import combinations
+
+    import pytest
+
+    from repro.serve import BatchPolicy
+
+    rng = np.random.default_rng(0)
+    # bimodal traffic: many short requests, a long tail
+    lengths = np.concatenate([rng.integers(3, 9, size=80),
+                              rng.integers(40, 65, size=20)]).tolist()
+
+    policy = BatchPolicy.from_observed(lengths, max_buckets=3)
+    assert policy.buckets is not None and len(policy.buckets) == 3
+    assert policy.buckets[-1] == max(lengths)
+
+    def padded_tokens(buckets):
+        return sum(min(b for b in buckets if b >= n) for n in lengths)
+
+    best = padded_tokens(policy.buckets)
+    unique = sorted(set(lengths))
+    exhaustive = min(
+        padded_tokens(c + (max(lengths),))
+        for c in combinations([u for u in unique if u != max(lengths)], 2))
+    assert best <= exhaustive            # the DP is exact
+    # far better than single full-width padding
+    assert best < 0.5 * len(lengths) * max(lengths)
+
+    few = BatchPolicy.from_observed([4, 4, 9], max_buckets=8)
+    assert few.buckets == (4, 9)         # <= max_buckets unique lengths
+    with pytest.raises(ValueError, match="positive lengths"):
+        BatchPolicy.from_observed([])
+    tuned = BatchPolicy.from_observed(lengths, max_buckets=2,
+                                      max_batch_size=16)
+    assert tuned.max_batch_size == 16    # kwargs pass through
+
+
+def test_stream_queue_fifo_and_discard():
+    """The batcher's stream admission queue pops FIFO by enqueue time
+    (planner-driven), and discards waiting streams on early finish."""
+    from repro.serve import BatchPolicy, DynamicBatcher
+    from repro.serve.streams import StreamState
+
+    batcher = DynamicBatcher(BatchPolicy(), pad_to=8)
+    streams = [StreamState(stream_id=i, tokens=np.array([1]),
+                           max_new_tokens=1, arrival=float(i))
+               for i in range(5)]
+    for stream in streams:
+        batcher.add_stream(stream)
+    assert batcher.stream_count() == 5
+    first = batcher.pop_streams(2)
+    assert [s.stream_id for s in first] == [0, 1]
+    # a preempted stream re-enters at the back, behind earlier waiters
+    batcher.add_stream(first[0])
+    assert [s.stream_id for s in batcher.pop_streams(None)] \
+        == [2, 3, 4, 0]
+    batcher.add_stream(streams[1])
+    assert batcher.discard_stream(1) and not batcher.discard_stream(9)
+    assert batcher.stream_count() == 0
+
+
 def test_async_concurrent_clients_coalesce():
     engine = make_classifier_engine(0)
     rng = np.random.default_rng(6)

@@ -227,3 +227,61 @@ def test_parallel_sweep_matches_serial(tmp_path):
     assert [o.workload for o in resumed.trained] == [SWEEP_WORKLOADS[0]]
     assert sorted(o.workload for o in resumed.cached) \
         == sorted(SWEEP_WORKLOADS[1:])
+
+
+def test_evict_lru_respects_budget_and_protection(tmp_path):
+    """Size-bounded eviction drops least-recently-saved entries first
+    and never touches protected (touched-this-run) keys."""
+    import json
+    import os
+
+    store = WorkloadStore(tmp_path / "store")
+    run_sweep(SWEEP_WORKLOADS[:3], TINY, store=store, jobs=1)
+    entries = store.entries()
+    assert len(entries) == 3
+    # force a deterministic LRU order regardless of training speed
+    for age, entry in enumerate(entries):
+        path = os.path.join(store.root, entry["key"], "entry.json")
+        with open(path) as fh:
+            data = json.load(fh)
+        data["saved_at"] = 1000.0 + age
+        with open(path, "w") as fh:
+            json.dump(data, fh)
+    keys = [e["key"] for e in store.entries()]
+    sizes = {k: store.entry_bytes(k) for k in keys}
+    assert store.size_bytes() == sum(sizes.values())
+
+    # budget that only fits the two newest entries -> oldest evicted
+    budget = sizes[keys[1]] + sizes[keys[2]]
+    evicted = store.evict_lru(budget)
+    assert evicted == [keys[0]]
+    assert sorted(e["key"] for e in store.entries()) == sorted(keys[1:])
+
+    # a protected oldest entry survives even a zero budget
+    evicted = store.evict_lru(0, protect={keys[1]})
+    assert evicted == [keys[2]]
+    assert [e["key"] for e in store.entries()] == [keys[1]]
+
+
+def test_sweep_cli_max_cache_bytes_protects_current_run(tmp_path):
+    """`--max-cache-bytes 1` after a sweep keeps every entry the run
+    touched (the working set) and evicts only untouched history."""
+    from repro.eval.sweep import main as sweep_main
+
+    root = str(tmp_path / "store")
+    assert sweep_main(["--workloads", SWEEP_WORKLOADS[0],
+                       "--scale", "tiny", "--cache-dir", root]) == 0
+    store = WorkloadStore(root)
+    old_key = store.entries()[0]["key"]
+    # second run touches only Task-2; a 1-byte budget must evict the
+    # stale Task-1 entry but keep the just-trained Task-2 entry
+    assert sweep_main(["--workloads", SWEEP_WORKLOADS[1],
+                       "--scale", "tiny", "--cache-dir", root,
+                       "--max-cache-bytes", "1"]) == 0
+    keys = [e["key"] for e in store.entries()]
+    assert old_key not in keys and len(keys) == 1
+
+    # standalone eviction pass (no workloads): nothing protected
+    assert sweep_main(["--cache-dir", root,
+                       "--max-cache-bytes", "0"]) == 0
+    assert store.entries() == []
