@@ -1,0 +1,114 @@
+"""Sweep progress bar with prior-informed ETA.
+
+Training time varies wildly across suites (a MemN2N bAbI task trains
+in a fraction of the time a BERT-large GLUE task does), so a naive
+tasks-done/tasks-total ETA whipsaws.  :class:`SweepProgress` instead
+weights every task by a per-suite *training-time prior* (relative
+cost units, calibrated from observed QUICK-scale runs), then refines
+the seconds-per-unit rate from the tasks that actually finished this
+run — the priors set the shape of the estimate, the live observations
+set its scale.
+
+Rendering is a single carriage-return line on ``stderr`` (never
+``stdout``, which carries the machine-readable ``[train]``/``[cached]``
+log), and disabled entirely under ``--no-progress`` or when stderr is
+not a terminal — CI logs stay clean.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+# relative training cost per suite (QUICK scale, arbitrary units —
+# only ratios matter; unknown suites fall back to the median-ish 4)
+TIME_PRIORS: dict[str, float] = {
+    "memn2n": 1.0,
+    "bert_base_glue": 4.0,
+    "bert_large_glue": 7.0,
+    "bert_base_squad": 5.0,
+    "albert_squad": 5.0,
+    "gpt2_wikitext": 6.0,
+    "vit_cifar": 5.0,
+}
+DEFAULT_PRIOR = 4.0
+
+
+def suite_of(name: str) -> str:
+    return name.split("/", 1)[0]
+
+
+def prior_weight(name: str) -> float:
+    return TIME_PRIORS.get(suite_of(name), DEFAULT_PRIOR)
+
+
+class SweepProgress:
+    """Render sweep progress + ETA as tasks start and finish.
+
+    ``stream``/``clock`` are injectable for tests; ``enabled=False``
+    turns the whole thing into a no-op (the ``--no-progress`` path).
+    """
+
+    def __init__(self, names, enabled: bool = True, stream=None,
+                 clock=time.monotonic, width: int = 24):
+        self.enabled = enabled
+        self.stream = stream if stream is not None else sys.stderr
+        self.clock = clock
+        self.width = width
+        self.weights = {name: prior_weight(name) for name in names}
+        self.total_weight = sum(self.weights.values()) or 1.0
+        self.done_weight = 0.0
+        self.done = 0
+        self.total = len(self.weights)
+        self.observed_seconds = 0.0
+        self.started_at = clock()
+        self._active: str | None = None
+
+    # -- event feed -----------------------------------------------------
+    def start(self, name: str) -> None:
+        self._active = name
+        self._render()
+
+    def finish(self, name: str, seconds: float | None = None) -> None:
+        """One task reached a terminal state (trained, cached, or
+        failed); ``seconds`` is its measured training time when it
+        really trained (cache hits contribute no rate evidence)."""
+        if name == self._active:
+            self._active = None
+        self.done += 1
+        self.done_weight += self.weights.get(name, DEFAULT_PRIOR)
+        if seconds is not None:
+            self.observed_seconds += seconds
+        self._render()
+
+    def close(self) -> None:
+        """End the progress line so subsequent output starts clean."""
+        if self.enabled and self.done:
+            self.stream.write("\n")
+            self.stream.flush()
+
+    # -- estimation -----------------------------------------------------
+    def eta_seconds(self) -> float | None:
+        """Remaining wall-seconds, or None before any rate evidence.
+
+        Rate = observed training seconds per prior cost unit; the
+        priors carry the cross-suite shape so one finished cheap task
+        still predicts the expensive tail sensibly."""
+        if self.observed_seconds <= 0 or self.done_weight <= 0:
+            return None
+        rate = self.observed_seconds / self.done_weight
+        return max(self.total_weight - self.done_weight, 0.0) * rate
+
+    # -- rendering ------------------------------------------------------
+    def _render(self) -> None:
+        if not self.enabled:
+            return
+        fraction = min(self.done_weight / self.total_weight, 1.0)
+        filled = int(round(fraction * self.width))
+        bar = "#" * filled + "-" * (self.width - filled)
+        eta = self.eta_seconds()
+        eta_text = f"ETA {eta:5.1f}s" if eta is not None else "ETA --"
+        active = f"  {self._active}" if self._active else ""
+        self.stream.write(f"\r[{bar}] {self.done}/{self.total} "
+                          f"{fraction:4.0%} {eta_text}{active}\x1b[K")
+        self.stream.flush()

@@ -193,6 +193,9 @@ class WorkloadStore:
         }
         with open(os.path.join(tmp, "entry.json"), "w") as fh:
             json.dump(entry, fh, indent=2)
+            fh.flush()
+            os.fsync(fh.fileno())        # a crash after publish must
+                                         # never leave a torn manifest
 
         # publish: move any previous entry aside atomically, then claim
         # the final name.  Losing the rename race to a concurrent
@@ -207,7 +210,7 @@ class WorkloadStore:
             else:
                 shutil.rmtree(doomed, ignore_errors=True)
         try:
-            os.rename(tmp, final)
+            os.replace(tmp, final)
         except OSError:
             shutil.rmtree(tmp, ignore_errors=True)
         return final
@@ -255,6 +258,38 @@ class WorkloadStore:
                     name, "corrupt",
                     f"weights digest {actual[:12]} != recorded "
                     f"{expected[:12]}"))
+                continue
+
+            # partial entries: a torn write (or a crashed writer that
+            # somehow published) can leave the manifest missing fields
+            # or the record arrays truncated — flag, don't crash
+            missing = [key for key in ("history", "records",
+                                       "pruned_per_layer",
+                                       "valid_per_layer",
+                                       "baseline_metric",
+                                       "pruned_metric")
+                       if key not in entry]
+            if missing:
+                outcomes.append(VerifyOutcome(
+                    name, "corrupt",
+                    "partial entry.json: missing "
+                    + ", ".join(missing)))
+                continue
+            records_path = os.path.join(directory, "records.npz")
+            try:
+                with np.load(records_path) as data:
+                    stored = set(data.files)
+                wanted = {f"r{i}_scores"
+                          for i in range(len(entry["records"]))}
+                if not wanted <= stored:
+                    raise ValueError(
+                        f"{len(wanted - stored)} record array(s) "
+                        "missing")
+            except Exception as records_error:  # noqa: BLE001
+                outcomes.append(VerifyOutcome(
+                    name, "corrupt",
+                    f"records.npz unreadable or truncated: "
+                    f"{records_error}"))
                 continue
 
             workload = entry.get("workload")
@@ -366,7 +401,9 @@ class WorkloadStore:
              scale: Scale) -> WorkloadResult | None:
         """Rehydrate a stored entry to a full WorkloadResult, or None on
         a miss.  A stale entry (spec hash / scale mismatch) is deleted
-        and reported as a miss, so the caller retrains."""
+        and reported as a miss, so the caller retrains; so is a corrupt
+        one (truncated or partially-written files) — a damaged entry
+        must read as a cache miss, never crash the sweep mid-parse."""
         directory = self.entry_dir(spec, scale)
         entry = self._read_entry(directory)
         if entry is None:
@@ -374,7 +411,14 @@ class WorkloadStore:
         if not self._fresh(entry, spec, scale):
             self.invalidate(spec, scale)
             return None
+        try:
+            return self._rehydrate(directory, entry, spec, scale)
+        except Exception:                # noqa: BLE001 — corrupt entry
+            self.invalidate(spec, scale)
+            return None
 
+    def _rehydrate(self, directory: str, entry: dict,
+                   spec: WorkloadSpec, scale: Scale) -> WorkloadResult:
         engine = PrunedInferenceEngine.from_directory(directory)
         history = FinetuneHistory(
             epochs=[EpochStats(**epoch) for epoch in entry["history"]])

@@ -24,15 +24,22 @@ import argparse
 import os
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (BrokenExecutor, ProcessPoolExecutor,
+                                as_completed)
 from dataclasses import dataclass, field
 
+from .progress import SweepProgress
 from .runner import run_workload
 from .store import WorkloadStore
 from .workloads import (QUICK, TINY, Scale, WORKLOADS, get_workload,
                         list_suites, list_workloads)
 
 SCALES = {"tiny": TINY, "quick": QUICK}
+
+# how many times a sweep will replace a broken worker pool (abrupt
+# worker death nukes every in-flight future) before giving up on the
+# still-unfinished shard
+MAX_POOL_RETRIES = 2
 
 
 @dataclass
@@ -75,13 +82,27 @@ class SweepReport:
                 f"({seconds:.1f}s total train time)")
 
 
-def _train_into_store(name: str, scale: Scale, store_root: str) -> dict:
+def _train_into_store(name: str, scale: Scale, store_root: str,
+                      faults=None, attempt: int = 0) -> dict:
     """Worker entry point: train one workload, publish it, return a
-    summary (the parent rehydrates the full result from the store)."""
+    summary (the parent rehydrates the full result from the store).
+
+    ``faults`` threads a :class:`~repro.serve.faults.FaultPlan` through
+    the worker: an armed worker fault kills this process abruptly
+    (``os._exit`` — no exception, no cleanup, exactly like a crashed or
+    OOM-killed worker, surfacing as ``BrokenProcessPool`` in the
+    parent), and an armed save fault truncates the just-published
+    entry (a torn write the store's corruption detection must absorb).
+    """
     spec = get_workload(name)
+    if faults is not None and faults.worker_dies(name, attempt):
+        os._exit(17)
     start = time.time()
     result = run_workload(spec, scale)
-    WorkloadStore(store_root).save(result)
+    entry_dir = WorkloadStore(store_root).save(result)
+    if faults is not None and faults.corrupt_save(name, attempt):
+        with open(os.path.join(entry_dir, "records.npz"), "r+b") as fh:
+            fh.truncate(16)
     return {
         "workload": name,
         "seconds": time.time() - start,
@@ -92,10 +113,21 @@ def _train_into_store(name: str, scale: Scale, store_root: str) -> dict:
 
 
 def run_sweep(workloads, scale: Scale, store: WorkloadStore | None = None,
-              jobs: int = 1, cache=None, echo=None) -> SweepReport:
+              jobs: int = 1, cache=None, echo=None, faults=None,
+              progress: SweepProgress | None = None) -> SweepReport:
     """Train every workload in ``workloads`` that the store does not
     already hold, ``jobs`` tasks at a time, then (if ``cache`` is
-    given) rehydrate all of them into it."""
+    given) rehydrate all of them into it.
+
+    The sweep survives abrupt worker death: a crashed worker breaks
+    the whole ``ProcessPoolExecutor`` (every in-flight future fails
+    with ``BrokenProcessPool``), so the affected shard is retried on a
+    fresh executor — tasks whose entries were already published before
+    the crash are picked up from the store instead of retraining.
+    ``faults`` threads a deterministic
+    :class:`~repro.serve.faults.FaultPlan` into the workers (chaos
+    tests); ``progress`` renders a live bar + prior-informed ETA.
+    """
     echo = echo or (lambda line: None)
     names = list(workloads)
     for name in names:
@@ -106,14 +138,20 @@ def run_sweep(workloads, scale: Scale, store: WorkloadStore | None = None,
 
     report = SweepReport(scale=scale.name, jobs=jobs)
     pending = []
+
+    def record_cached(name):
+        report.outcomes.append(TaskOutcome(workload=name,
+                                           status="cached"))
+        echo(f"[cached] {name}")
+        if progress is not None:
+            progress.finish(name)
+
     for name in names:
         spec = get_workload(name)
         hit = (store is not None and store.contains(spec, scale)) or (
             cache is not None and (spec, scale) in cache)
         if hit:
-            report.outcomes.append(TaskOutcome(workload=name,
-                                               status="cached"))
-            echo(f"[cached] {name}")
+            record_cached(name)
         else:
             pending.append(name)
 
@@ -123,31 +161,67 @@ def run_sweep(workloads, scale: Scale, store: WorkloadStore | None = None,
             baseline_metric=baseline, pruned_metric=pruned,
             pruning_rate=rate))
         echo(f"[train] {name} ({seconds:.1f}s, pruning {rate:.3f})")
+        if progress is not None:
+            progress.finish(name, seconds)
 
     def record_failed(name, error):
         report.outcomes.append(TaskOutcome(
             workload=name, status="failed", error=str(error)))
         echo(f"[failed] {name}: {error}")
+        if progress is not None:
+            progress.finish(name)
 
     if jobs > 1 and pending:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {pool.submit(_train_into_store, name, scale,
-                                   store.root): name
-                       for name in pending}
-            for future in as_completed(futures):
-                name = futures[future]
-                error = future.exception()
-                if error is not None:
-                    record_failed(name, error)
-                    continue
-                payload = future.result()
-                record_trained(name, payload["seconds"],
-                               payload["baseline_metric"],
-                               payload["pruned_metric"],
-                               payload["pruning_rate"])
+        remaining = list(pending)
+        attempt = 0
+        while remaining:
+            broken: list[str] = []
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = {pool.submit(_train_into_store, name, scale,
+                                       store.root, faults, attempt): name
+                           for name in remaining}
+                for future in as_completed(futures):
+                    name = futures[future]
+                    error = future.exception()
+                    if isinstance(error, BrokenExecutor):
+                        # a worker died mid-flight and took the pool
+                        # with it; this task's fate is unknown until we
+                        # check the store on the retry pass
+                        broken.append(name)
+                        continue
+                    if error is not None:
+                        record_failed(name, error)
+                        continue
+                    payload = future.result()
+                    record_trained(name, payload["seconds"],
+                                   payload["baseline_metric"],
+                                   payload["pruned_metric"],
+                                   payload["pruning_rate"])
+            if not broken:
+                break
+            attempt += 1
+            if attempt > MAX_POOL_RETRIES:
+                for name in sorted(broken):
+                    record_failed(
+                        name, RuntimeError(
+                            "worker pool broke "
+                            f"{MAX_POOL_RETRIES + 1} times; giving up"))
+                break
+            echo(f"[retry] worker pool broke; retrying "
+                 f"{len(broken)} task(s) on a fresh pool "
+                 f"(attempt {attempt})")
+            remaining = []
+            for name in sorted(broken):
+                # published-then-crashed tasks are complete on disk
+                if store.contains(get_workload(name), scale):
+                    record_cached(name)
+                else:
+                    remaining.append(name)
     else:
         for name in pending:
             spec = get_workload(name)
+            if progress is not None:
+                progress.start(name)
             start = time.time()
             try:
                 if cache is not None:
@@ -163,6 +237,8 @@ def run_sweep(workloads, scale: Scale, store: WorkloadStore | None = None,
                            result.baseline_metric, result.pruned_metric,
                            result.pruning_rate)
 
+    if progress is not None:
+        progress.close()
     if cache is not None:
         for name in names:
             if not any(o.workload == name and o.status == "failed"
@@ -240,6 +316,10 @@ def main(argv=None) -> int:
                              "never evicted)")
     parser.add_argument("--save-dir", default=None,
                         help="also write sweep.json via eval.artifacts")
+    parser.add_argument("--no-progress", action="store_true",
+                        help="suppress the stderr progress bar/ETA "
+                             "(it is auto-disabled when stderr is not "
+                             "a terminal, e.g. in CI)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -300,8 +380,10 @@ def main(argv=None) -> int:
         parser.error("--jobs > 1 needs --cache-dir (workers hand results "
                      "back through the shared store)")
 
+    progress = SweepProgress(
+        names, enabled=not args.no_progress and sys.stderr.isatty())
     report = run_sweep(names, SCALES[args.scale], store=store,
-                       jobs=args.jobs, echo=print)
+                       jobs=args.jobs, echo=print, progress=progress)
     print(report.summary())
     if args.max_cache_bytes is not None:
         # every entry this run touched (trained or read) is protected:

@@ -1,14 +1,22 @@
 """Batched serving: async request queue + dynamic batcher with
 per-stream KV caches in front of ``PrunedInferenceEngine``; stream
-scheduling is round-based or continuous (``continuous=True``), and
-``ModelRouter`` fronts several engines behind one queue discipline."""
+scheduling is round-based or continuous (``continuous=True``),
+``ModelRouter`` fronts several engines behind one queue discipline
+with health-checked routing, and the reliability layer adds
+deadlines/cancellation, typed terminal reason codes, admission
+control, and deterministic fault injection (``FaultPlan``)."""
 
 from .aio import AsyncServingEngine
 from .batcher import BatchPolicy, CoalescedBatch, DynamicBatcher, \
     QueuedRequest, coalesce
-from .engine import ServeResult, ServingEngine, ServingStats
+from .engine import (DeadlineExceeded, REASON_CANCELLED, REASON_DEADLINE,
+                     REASON_ERROR, REASON_OK, REASON_SHED,
+                     RequestCancelled, ServeResult, ServingEngine,
+                     ServingStats, ShedOverload)
+from .faults import Fault, FaultPlan, InjectedKernelError
 from .hardware import HardwareTotals, slice_record
-from .router import ModelRouter
+from .health import EngineHealth, HealthPolicy
+from .router import (EngineQuarantined, ModelRouter, UnknownModelError)
 from .scheduler import SchedulerConfig, StepPlan, StepPlanner
 from .streams import KVSlotBuffer, StreamState, stack_caches, \
     unstack_caches
@@ -18,4 +26,11 @@ __all__ = ["AsyncServingEngine", "BatchPolicy", "CoalescedBatch",
            "ServingEngine", "ServingStats", "HardwareTotals",
            "slice_record", "ModelRouter", "SchedulerConfig", "StepPlan",
            "StepPlanner", "KVSlotBuffer", "StreamState", "stack_caches",
-           "unstack_caches"]
+           "unstack_caches",
+           # reliability layer
+           "DeadlineExceeded", "RequestCancelled", "ShedOverload",
+           "REASON_OK", "REASON_DEADLINE", "REASON_CANCELLED",
+           "REASON_ERROR", "REASON_SHED",
+           "Fault", "FaultPlan", "InjectedKernelError",
+           "EngineHealth", "HealthPolicy",
+           "EngineQuarantined", "UnknownModelError"]

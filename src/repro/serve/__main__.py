@@ -28,7 +28,7 @@ from ..core import PrunedInferenceEngine
 from ..hw import AE_LEOPARD, get_backend
 from ..models import (ClassifierConfig, LMConfig, TransformerClassifier,
                       TransformerLM)
-from . import BatchPolicy, ModelRouter, ServingEngine
+from . import BatchPolicy, ModelRouter, ServingEngine, UnknownModelError
 
 
 def build_classifier_engine(seed: int = 0) -> PrunedInferenceEngine:
@@ -153,8 +153,15 @@ def router_demo(args, engines: dict[str, PrunedInferenceEngine],
          for name, engine in engines.items()},
         step_budget=args.max_batch_size)
     rng = np.random.default_rng(args.seed)
+    targets = engines.items()
+    if args.model is not None:
+        if args.model not in engines:
+            # hand the typo to the router so the user sees its
+            # canonical unknown-model error (which lists the mounts)
+            router.submit(np.zeros(3, dtype=np.int64), model=args.model)
+        targets = [(args.model, engines[args.model])]
     ids: list[tuple[str, int]] = []
-    for name, engine in engines.items():
+    for name, engine in targets:
         config = engine.model.config
         if hasattr(engine.model, "decode_step"):
             prompt_cap = max(2, min(9, config.max_seq_len // 2))
@@ -216,6 +223,11 @@ def main(argv=None) -> None:
                         help="tokens to generate per stream")
     parser.add_argument("--max-batch-size", type=int, default=4)
     parser.add_argument("--max-wait", type=float, default=0.002)
+    parser.add_argument("--model", default=None, metavar="NAME",
+                        help="router mode: direct the whole demo burst "
+                             "at one mounted model (a typo exits with "
+                             "the router's unknown-model error instead "
+                             "of a traceback)")
     parser.add_argument("--kernel-backend", default=None,
                         help="bit-serial kernel backend for hardware "
                              "estimates (see repro.hw.backends)")
@@ -228,6 +240,9 @@ def main(argv=None) -> None:
         hw_config = replace(AE_LEOPARD, kernel_backend=args.kernel_backend)
     if args.preempt_after is not None and not args.continuous:
         parser.error("--preempt-after needs --continuous")
+    if args.model is not None and len(args.engine_dir or []) < 2:
+        parser.error("--model routes within a multi-model router; mount "
+                     "at least two --engine-dir snapshots")
 
     if args.engine_dir:
         engines: dict[str, PrunedInferenceEngine] = {}
@@ -240,7 +255,10 @@ def main(argv=None) -> None:
                                  "disambiguate with NAME=PATH")
             engines[name] = load_engine(path)
         if len(engines) > 1:
-            router_demo(args, engines, hw_config)
+            try:
+                router_demo(args, engines, hw_config)
+            except UnknownModelError as error:
+                raise SystemExit(f"error: {error}") from None
             return
         (directory,), (engine,) = args.engine_dir, engines.values()
         generative = hasattr(engine.model, "decode_step")

@@ -54,37 +54,64 @@ class AsyncServingEngine:
                 future.cancel()
         self._futures.clear()
 
-    async def submit(self, inputs: np.ndarray,
-                     mask: np.ndarray | None = None,
-                     model: str | None = None) -> ServeResult:
-        """Queue one request and wait for its result; requests from
-        concurrent tasks are dynamically batched together.  ``model``
-        routes the request when the core is a ``ModelRouter``."""
-        if self._task is None:
-            raise RuntimeError("engine not started; use 'async with'")
-        if model is not None:
-            request_id = self._serving.submit(inputs, mask, model=model)
-        else:
-            request_id = self._serving.submit(inputs, mask)
+    async def _await_result(self, request_id: int) -> ServeResult:
+        """Wait for a request's fan-out; cancelling the awaiting task
+        cancels the request inside the core (its queue entries and KV
+        state are released, and the terminal result is typed
+        ``cancelled``)."""
         future = asyncio.get_running_loop().create_future()
         self._futures[request_id] = future
         self._wake.set()
-        return await future
+        try:
+            return await future
+        except asyncio.CancelledError:
+            self._futures.pop(request_id, None)
+            try:
+                self._serving.cancel(request_id)
+            except KeyError:
+                pass
+            self._wake.set()
+            raise
+
+    async def submit(self, inputs: np.ndarray,
+                     mask: np.ndarray | None = None,
+                     model: str | None = None,
+                     deadline: float | None = None,
+                     ttl: float | None = None) -> ServeResult:
+        """Queue one request and wait for its result; requests from
+        concurrent tasks are dynamically batched together.  ``model``
+        routes the request when the core is a ``ModelRouter``;
+        ``deadline``/``ttl`` bound its lifetime (a missed deadline
+        raises ``DeadlineExceeded`` here)."""
+        if self._task is None:
+            raise RuntimeError("engine not started; use 'async with'")
+        kwargs = {"deadline": deadline, "ttl": ttl}
+        if model is not None:
+            kwargs["model"] = model
+        request_id = self._serving.submit(inputs, mask, **kwargs)
+        return await self._await_result(request_id)
 
     async def open_stream(self, prompt: np.ndarray, max_new_tokens: int,
-                          model: str | None = None) -> ServeResult:
+                          model: str | None = None,
+                          deadline: float | None = None,
+                          ttl: float | None = None) -> ServeResult:
         """Open a generation stream and wait for its full result."""
         if self._task is None:
             raise RuntimeError("engine not started; use 'async with'")
+        kwargs = {"deadline": deadline, "ttl": ttl}
         if model is not None:
-            request_id = self._serving.open_stream(prompt, max_new_tokens,
-                                                   model=model)
-        else:
-            request_id = self._serving.open_stream(prompt, max_new_tokens)
-        future = asyncio.get_running_loop().create_future()
-        self._futures[request_id] = future
-        self._wake.set()
-        return await future
+            kwargs["model"] = model
+        request_id = self._serving.open_stream(prompt, max_new_tokens,
+                                               **kwargs)
+        return await self._await_result(request_id)
+
+    def cancel(self, request_id: int) -> bool:
+        """Cancel a pending request by id (False if already terminal);
+        its awaiting client receives ``RequestCancelled``."""
+        cancelled = self._serving.cancel(request_id)
+        if self._wake is not None:
+            self._wake.set()
+        return cancelled
 
     def _stream_pending(self) -> bool:
         if self._broken:

@@ -119,10 +119,14 @@ class QueuedRequest:
     inputs: np.ndarray              # (L,) token ids or (L, D) patches
     mask: np.ndarray                # (L,) bool
     arrival: float
+    deadline: float | None = None   # absolute; shed once now >= deadline
 
     @property
     def length(self) -> int:
         return self.inputs.shape[0]
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
 
 
 @dataclass
@@ -195,6 +199,35 @@ class DynamicBatcher:
     def add(self, request: QueuedRequest) -> None:
         bucket = self.policy.bucket_for(request.length, self.pad_to)
         self._queues.setdefault(bucket, deque()).append(request)
+
+    def discard(self, request_id: int) -> QueuedRequest | None:
+        """Drop one waiting classification request (cancellation)."""
+        for queue in self._queues.values():
+            for request in queue:
+                if request.request_id == request_id:
+                    queue.remove(request)
+                    return request
+        return None
+
+    def shed_expired(self, now: float) -> list[QueuedRequest]:
+        """Remove and return every queued request whose deadline has
+        passed — expired work must never occupy a batch slot."""
+        shed: list[QueuedRequest] = []
+        for bucket, queue in self._queues.items():
+            keep = deque(r for r in queue if not r.expired(now))
+            if len(keep) != len(queue):
+                shed += [r for r in queue if r.expired(now)]
+                self._queues[bucket] = keep
+        return shed
+
+    def backlog_tokens(self) -> int:
+        """Tokens waiting in the bucket queues plus the stream
+        admission queue — the admission controller's pressure gauge.
+        Streams are charged their full KV demand (prompt + budgeted new
+        tokens), the work they will actually occupy the engine with."""
+        queued = sum(r.length for q in self._queues.values() for r in q)
+        streams = sum(s.length + s.max_new_tokens for s in self._streams)
+        return queued + streams
 
     def next_deadline(self) -> float | None:
         """Earliest time any queue's oldest request must flush by."""

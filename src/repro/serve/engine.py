@@ -47,6 +47,28 @@ from .scheduler import SchedulerConfig, StepPlanner
 from .streams import KVSlotBuffer, StreamState, stack_caches, \
     unstack_caches
 
+# terminal reason codes: every ServeResult carries exactly one
+REASON_OK = "ok"
+REASON_DEADLINE = "deadline_exceeded"
+REASON_CANCELLED = "cancelled"
+REASON_ERROR = "engine_error"
+REASON_SHED = "shed_overload"
+
+
+class DeadlineExceeded(TimeoutError):
+    """The request's deadline passed before it finished; it was shed
+    from the queue (or stopped mid-generation) and its KV state freed."""
+
+
+class RequestCancelled(RuntimeError):
+    """The client cancelled the request before it finished."""
+
+
+class ShedOverload(RuntimeError):
+    """Admission control fast-rejected the request: the token backlog
+    already exceeds ``max_backlog_tokens`` (fail fast beats queueing
+    into certain deadline collapse)."""
+
 
 @dataclass
 class ServeResult:
@@ -62,6 +84,11 @@ class ServeResult:
     records: list | None = None         # per-request AttentionRecords
     batch_sizes: list[int] = field(default_factory=list)
     error: Exception | None = None      # serve-time failure, if any
+    reason: str = REASON_OK             # REASON_* terminal code
+
+    @property
+    def ok(self) -> bool:
+        return self.reason == REASON_OK
 
 
 @dataclass
@@ -84,6 +111,13 @@ class ServingStats:
     admitted: int = 0
     preemptions: int = 0
     resumes: int = 0
+    # reliability counters: terminal outcomes by reason, plus how many
+    # forward attempts failed and how many retries recovered one
+    expired: int = 0
+    cancelled: int = 0
+    shed: int = 0
+    errors: int = 0
+    retries: int = 0
     hardware: HardwareTotals = field(default_factory=HardwareTotals)
 
     def record_batch(self, size: int) -> None:
@@ -110,17 +144,38 @@ class ServingEngine:
                  estimate_hardware: bool = False, hw_config=None,
                  clock=time.monotonic, continuous: bool = False,
                  preempt_after: int | None = None, pressure: int = 1,
-                 slots: int | None = None):
+                 slots: int | None = None, faults=None,
+                 retries: int = 0, retry_backoff: float = 0.0,
+                 max_backlog_tokens: int | None = None,
+                 sleep=time.sleep):
         """``continuous=True`` swaps the round-based stream loop for
         the step-planned continuous scheduler: ``slots`` decode slots
         (default ``max_batch_size``), preempting streams that ran
         ``preempt_after`` decode steps once ``pressure`` streams wait
-        beyond the free slots (``None`` disables preemption)."""
+        beyond the free slots (``None`` disables preemption).
+
+        Reliability knobs: ``faults`` injects a seeded
+        :class:`~repro.serve.faults.FaultPlan` into the forward/step
+        paths; ``retries`` re-runs a failed model forward up to that
+        many extra times (``retry_backoff`` seconds before the first,
+        doubling — forwards are pure functions of their inputs, so a
+        retry that succeeds is bit-identical to never having failed);
+        ``max_backlog_tokens`` fast-rejects new work with
+        ``shed_overload`` once the queued token backlog exceeds it."""
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if max_backlog_tokens is not None and max_backlog_tokens < 1:
+            raise ValueError("max_backlog_tokens must be >= 1")
         self.engine = engine
         self.policy = policy or BatchPolicy()
         self._estimate_hw = estimate_hardware
         self._hw_config = hw_config
         self._clock = clock
+        self._faults = faults
+        self._retries = retries
+        self._retry_backoff = retry_backoff
+        self._max_backlog = max_backlog_tokens
+        self._sleep = sleep
         config = getattr(engine.model, "config", None)
         max_seq_len = getattr(config, "max_seq_len", None)
         if self.policy.pad_to is not None:
@@ -148,14 +203,54 @@ class ServingEngine:
         self._slots: KVSlotBuffer | None = None   # built on first admit
         self._streams: dict[int, StreamState] = {}
         self._results: dict[int, ServeResult] = {}
+        # ids terminated outside a step (fast-rejects, cancels): the
+        # next step()/flush() reports them so pollers see them complete
+        self._instant: list[int] = []
         self._next_id = 0
+        # contained forward failures during the latest step — the
+        # router's circuit breaker reads this after each step
+        self.last_step_errors = 0
         self.stats = ServingStats()
 
     # -- submission -----------------------------------------------------
+    @staticmethod
+    def _resolve_deadline(now: float, deadline: float | None,
+                          ttl: float | None) -> float | None:
+        """Absolute deadline from either an absolute ``deadline`` or a
+        relative ``ttl`` (seconds from arrival)."""
+        if deadline is not None and ttl is not None:
+            raise ValueError("pass deadline= or ttl=, not both")
+        if ttl is not None:
+            if ttl <= 0:
+                raise ValueError("ttl must be > 0 seconds")
+            return now + ttl
+        return deadline
+
+    def _admit(self, tokens: int, request_id: int, kind: str) -> bool:
+        """Bounded-queue admission control: False fast-rejects the
+        request with a terminal ``shed_overload`` result instead of
+        letting the backlog (and everyone's latency) grow without
+        bound."""
+        if self._max_backlog is None:
+            return True
+        backlog = self._batcher.backlog_tokens()
+        if backlog + tokens <= self._max_backlog:
+            return True
+        self._terminal(request_id, kind, REASON_SHED, ShedOverload(
+            f"backlog {backlog} + request {tokens} tokens exceeds "
+            f"max_backlog_tokens={self._max_backlog}"))
+        self.stats.shed += 1
+        self._instant.append(request_id)
+        return False
+
     def submit(self, inputs: np.ndarray, mask: np.ndarray | None = None,
-               now: float | None = None) -> int:
+               now: float | None = None, deadline: float | None = None,
+               ttl: float | None = None) -> int:
         """Queue one single-sequence classification request; returns
-        its id.  ``inputs``: (L,) tokens or (L, D) patch features."""
+        its id.  ``inputs``: (L,) tokens or (L, D) patch features.
+        ``deadline`` (absolute clock time) or ``ttl`` (seconds from
+        now) bounds how long the request may wait or run — past it the
+        request is shed with ``deadline_exceeded``."""
         inputs = np.asarray(inputs)
         if inputs.ndim not in (1, 2):
             raise ValueError("submit takes one sequence per request: "
@@ -167,16 +262,25 @@ class ServingEngine:
                              f"[1, {self._pad_to}]")
         mask = (np.ones(inputs.shape[0], dtype=bool) if mask is None
                 else np.asarray(mask, dtype=bool))
+        now = self._clock() if now is None else now
         request = QueuedRequest(
             request_id=self._allocate_id(), inputs=inputs, mask=mask,
-            arrival=self._clock() if now is None else now)
+            arrival=now,
+            deadline=self._resolve_deadline(now, deadline, ttl))
+        if not self._admit(request.length, request.request_id,
+                           "classify"):
+            return request.request_id
         self._batcher.add(request)
         return request.request_id
 
     def open_stream(self, prompt: np.ndarray, max_new_tokens: int,
-                    now: float | None = None) -> int:
+                    now: float | None = None,
+                    deadline: float | None = None,
+                    ttl: float | None = None) -> int:
         """Open an autoregressive generation stream (causal-LM engines
-        only); ``prompt``: (L,) token ids."""
+        only); ``prompt``: (L,) token ids.  ``deadline``/``ttl`` bound
+        the stream's total lifetime — an expired stream stops where it
+        is and frees its KV slot."""
         if not hasattr(self.engine.model, "decode_step"):
             raise TypeError("model does not support incremental decode; "
                             "open_stream needs a causal LM")
@@ -186,13 +290,17 @@ class ServingEngine:
         limit = min(self._prefill_width, self._capacity - 1)
         if prompt.size == 0 or prompt.size > limit:
             raise ValueError(f"prompt length must be in [1, {limit}]")
+        now = self._clock() if now is None else now
         stream = StreamState(
             stream_id=self._allocate_id(), tokens=prompt.copy(),
-            max_new_tokens=max_new_tokens,
-            arrival=self._clock() if now is None else now,
+            max_new_tokens=max_new_tokens, arrival=now,
+            deadline=self._resolve_deadline(now, deadline, ttl),
             # request-derived KV budget: never a function of the batch
             kv_capacity=min(self._capacity,
                             prompt.size + max_new_tokens))
+        if not self._admit(prompt.size + max_new_tokens,
+                           stream.stream_id, "generate"):
+            return stream.stream_id
         self._batcher.add_stream(stream)
         self._streams[stream.stream_id] = stream
         return stream.stream_id
@@ -205,8 +313,144 @@ class ServingEngine:
         return self._batcher.ready(now)
 
     def has_pending(self) -> bool:
-        return bool(len(self._batcher)
+        return bool(len(self._batcher) or self._instant
                     or any(not s.done for s in self._streams.values()))
+
+    # -- occupancy introspection (leak checks, admission control) -------
+    def kv_slots_in_use(self) -> int:
+        """Occupied KVSlotBuffer slots (continuous scheduler)."""
+        return len(self._slots) if self._slots is not None else 0
+
+    def queue_depth(self) -> int:
+        """Waiting work: queued classify requests + waiting streams."""
+        return len(self._batcher) + self._batcher.stream_count()
+
+    def backlog_tokens(self) -> int:
+        return self._batcher.backlog_tokens()
+
+    # -- lifecycle: terminal errors, cancellation, deadlines ------------
+    def _terminal(self, request_id: int, kind: str, reason: str,
+                  error: Exception,
+                  stream: StreamState | None = None) -> None:
+        """Record a typed non-ok terminal result."""
+        self.stats.completed += 1
+        self._results[request_id] = ServeResult(
+            request_id=request_id, kind=kind,
+            logits=(stream.last_logits
+                    if stream is not None
+                    and stream.last_logits is not None else np.zeros(0)),
+            tokens=(stream.tokens.copy() if stream is not None else None),
+            batch_sizes=(list(stream.batch_sizes)
+                         if stream is not None else []),
+            error=error, reason=reason)
+
+    def _terminate_stream(self, stream: StreamState, reason: str,
+                          error: Exception) -> None:
+        """Stop a live stream wherever it is — waiting, swapped out,
+        running in a slot, or live round-based — and free every bit of
+        its KV state (slot row or per-stream caches)."""
+        self._batcher.discard_stream(stream.stream_id)
+        if stream.slot is not None:
+            self._slots.evict(stream)
+        stream.evict()
+        stream.done = True
+        self._terminal(stream.stream_id, "generate", reason, error,
+                       stream=stream)
+
+    def cancel(self, request_id: int) -> bool:
+        """Cancel a pending request or live stream: it terminates with
+        reason ``cancelled`` and every queue entry and KV slot it held
+        is released.  Returns False if the request already finished
+        (its existing result stands); raises KeyError for ids this
+        engine never issued."""
+        if request_id in self._results:
+            return False
+        stream = self._streams.get(request_id)
+        if stream is not None:
+            if stream.done:
+                return False
+            self._terminate_stream(stream, REASON_CANCELLED,
+                                   RequestCancelled(
+                                       f"request {request_id} cancelled"))
+            self.stats.cancelled += 1
+            self._instant.append(request_id)
+            return True
+        request = self._batcher.discard(request_id)
+        if request is None:
+            raise KeyError(f"unknown request {request_id}")
+        self._terminal(request_id, "classify", REASON_CANCELLED,
+                       RequestCancelled(
+                           f"request {request_id} cancelled"))
+        self.stats.cancelled += 1
+        self._instant.append(request_id)
+        return True
+
+    def _shed_expired(self, now: float) -> list[int]:
+        """Terminate everything whose deadline has passed: queued
+        classify requests, and streams in any state (waiting, swapped,
+        or holding a KV slot)."""
+        completed: list[int] = []
+        for request in self._batcher.shed_expired(now):
+            self._terminal(request.request_id, "classify",
+                           REASON_DEADLINE, DeadlineExceeded(
+                               f"request {request.request_id} missed "
+                               f"deadline {request.deadline:.6f}"))
+            self.stats.expired += 1
+            completed.append(request.request_id)
+        for stream in list(self._streams.values()):
+            if stream.done or not stream.expired(now):
+                continue
+            self._terminate_stream(stream, REASON_DEADLINE,
+                                   DeadlineExceeded(
+                                       f"stream {stream.stream_id} missed "
+                                       f"deadline {stream.deadline:.6f}"))
+            self.stats.expired += 1
+            completed.append(stream.stream_id)
+        return completed
+
+    def _drain_instant(self) -> list[int]:
+        drained, self._instant = self._instant, []
+        return drained
+
+    # -- quarantine support (driven by the model router) ----------------
+    def drain_waiting(self) -> tuple[list[QueuedRequest], list]:
+        """Pull every piece of not-yet-started work out of the queues
+        for rerouting: (queued classify requests, waiting *fresh*
+        streams).  Swapped-out streams carry KV state and partial
+        generations bound to this engine's model, so they stay behind
+        (``abort_all`` fails them fast)."""
+        requests: list[QueuedRequest] = []
+        while len(self._batcher):
+            requests += self._batcher.pop()[1]
+        fresh, kept = [], []
+        for stream in self._batcher.pop_streams():
+            (fresh if stream.new_tokens == 0 and stream.caches is None
+             else kept).append(stream)
+        for stream in kept:
+            self._batcher.add_stream(stream)
+        for stream in fresh:
+            self._streams.pop(stream.stream_id, None)
+        return requests, fresh
+
+    def abort_all(self, error: Exception) -> list[int]:
+        """Fail-fast everything still live — queued requests, waiting/
+        swapped/running streams — with ``engine_error``, releasing all
+        queue entries, caches and KV slots.  Returns the ids that
+        terminated (plus any unreported instant terminations), so a
+        quarantining router can fan the failures out instead of letting
+        the work stall silently."""
+        completed = self._drain_instant()
+        while len(self._batcher):
+            for request in self._batcher.pop()[1]:
+                self._terminal(request.request_id, "classify",
+                               REASON_ERROR, error)
+                completed.append(request.request_id)
+        for stream in list(self._streams.values()):
+            if stream.done:
+                continue
+            self._terminate_stream(stream, REASON_ERROR, error)
+            completed.append(stream.stream_id)
+        return completed
 
     # -- advancing ------------------------------------------------------
     def step(self, now: float | None = None,
@@ -218,8 +462,14 @@ class ServingEngine:
         continuous scheduler's decode slots this step (the model
         router's shared step budget).  Returns ids completed during
         this step."""
+        if self._faults is not None:
+            # injected step latency: burn it before reading the clock
+            # so this step (and its deadline checks) observe the delay
+            self._faults.latency_check()
         now = self._clock() if now is None else now
-        completed: list[int] = []
+        self.last_step_errors = 0
+        completed = self._drain_instant()
+        completed += self._shed_expired(now)
         while self._batcher.ready(now):
             completed += self._serve_classify(*self._batcher.pop(now))
         completed += self._stream_step(budget)
@@ -228,7 +478,8 @@ class ServingEngine:
     def flush(self) -> list[int]:
         """Serve the waiting classification queue immediately,
         ignoring ``max_wait``."""
-        completed: list[int] = []
+        completed = self._drain_instant()
+        completed += self._shed_expired(self._clock())
         while len(self._batcher):
             completed += self._serve_classify(*self._batcher.pop())
         return completed
@@ -271,22 +522,44 @@ class ServingEngine:
         self._next_id += 1
         return self._next_id - 1
 
+    def _with_retries(self, call):
+        """Run one model forward under the fault plan and retry
+        policy.  Transient failures (injected or real) are retried up
+        to ``retries`` times with exponential backoff; a forward is a
+        pure function of its inputs, so a successful retry yields
+        bit-identical results.  Exhausted retries re-raise for the
+        caller's containment (fail the batch, not the engine)."""
+        attempt = 0
+        while True:
+            try:
+                if self._faults is not None:
+                    self._faults.kernel_check()
+                return call()
+            except Exception:            # noqa: BLE001 — retried/reraised
+                self.stats.errors += 1
+                if attempt >= self._retries:
+                    raise
+                if self._retry_backoff > 0:
+                    self._sleep(self._retry_backoff * (2 ** attempt))
+                attempt += 1
+                self.stats.retries += 1
+
     def _serve_classify(self, bucket: int,
                         requests: list[QueuedRequest]) -> list[int]:
         try:
             batch: CoalescedBatch = coalesce(requests, bucket)
-            predictions, logits, records = self.engine.predict_many(
-                batch.inputs, batch.mask,
-                collect_records=self._estimate_hw)
+            predictions, logits, records = self._with_retries(
+                lambda: self.engine.predict_many(
+                    batch.inputs, batch.mask,
+                    collect_records=self._estimate_hw))
         except Exception as error:       # noqa: BLE001
             # fail exactly this batch's requests; traffic queued in
             # other buckets/batches must keep flowing
+            self.last_step_errors += 1
             completed = []
             for request in requests:
-                self._results[request.request_id] = ServeResult(
-                    request_id=request.request_id, kind="classify",
-                    logits=np.zeros(0), error=error)
-                self.stats.completed += 1
+                self._terminal(request.request_id, "classify",
+                               REASON_ERROR, error)
                 completed.append(request.request_id)
             return completed
         self.stats.record_batch(len(requests))
@@ -325,13 +598,15 @@ class ServingEngine:
         return completed
 
     def _forward(self, forward):
-        """Run a model call, capturing attention records when hardware
-        accounting is on."""
-        if self._estimate_hw:
-            return self.engine.run_recorded(forward)
-        from ..tensor import no_grad
-        with no_grad():
-            return forward(), None
+        """Run a model call (with retries under the fault plan),
+        capturing attention records when hardware accounting is on."""
+        def run():
+            if self._estimate_hw:
+                return self.engine.run_recorded(forward)
+            from ..tensor import no_grad
+            with no_grad():
+                return forward(), None
+        return self._with_retries(run)
 
     def _stream_step(self, budget: int | None) -> list[int]:
         if self.continuous:
@@ -426,8 +701,13 @@ class ServingEngine:
                           dtype=np.int64)
         for i, stream in enumerate(streams):
             tokens[i, :stream.length] = stream.tokens
-        (logits, caches), records = self._forward(
-            lambda: model.prefill(tokens, lengths))
+        try:
+            (logits, caches), records = self._forward(
+                lambda: model.prefill(tokens, lengths))
+        except Exception as error:       # noqa: BLE001 — contained
+            # fail exactly this prefill chunk (no slots or caches were
+            # allocated yet); other streams keep flowing
+            return self._fail_chunk(streams, error)
         self.stats.record_batch(len(streams))
         completed = []
         for i, stream in enumerate(streams):
@@ -462,8 +742,14 @@ class ServingEngine:
         model = self.engine.model
         last = np.array([s.tokens[-1] for s in chunk], dtype=np.int64)
         histories = [int(n) for n in caches[0]["lengths"]]
-        logits, records = self._forward(
-            lambda: model.decode_step(last, caches))
+        try:
+            logits, records = self._forward(
+                lambda: model.decode_step(last, caches))
+        except Exception as error:       # noqa: BLE001 — contained
+            # fail exactly this decode chunk; the scheduler's done-
+            # stream sweep releases the KV state (slot rows or caches)
+            # after the shared buffers are settled
+            return self._fail_chunk(chunk, error)
         self.stats.decode_rounds += 1
         self.stats.record_batch(len(chunk))
         completed = []
@@ -480,6 +766,19 @@ class ServingEngine:
                 self._finalize_stream(stream)
                 completed.append(stream.stream_id)
         return completed
+
+    def _fail_chunk(self, streams: list[StreamState],
+                    error: Exception) -> list[int]:
+        """Terminate the streams of one failed coalesced forward with
+        ``engine_error``.  Slot/cache release is deliberately left to
+        the calling scheduler's done-stream sweep, which already evicts
+        finished streams once the shared buffers are consistent."""
+        self.last_step_errors += 1
+        for stream in streams:
+            stream.done = True
+            self._terminal(stream.stream_id, "generate", REASON_ERROR,
+                           error, stream=stream)
+        return [s.stream_id for s in streams]
 
     def _stream_exhausted(self, stream: StreamState) -> bool:
         return (stream.new_tokens >= stream.max_new_tokens

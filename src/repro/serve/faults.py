@@ -1,0 +1,153 @@
+"""Deterministic fault injection: seeded chaos plans that replay
+bit-identically.
+
+A :class:`FaultPlan` is a list of :class:`Fault` records, each armed
+for the *N*-th occurrence of a named event stream — ``"forward"``
+(model forwards inside a serving engine), ``"latency"`` (scheduler
+steps), ``"worker"`` (sweep training attempts) and ``"save"`` (store
+publishes).  Consumers call :meth:`FaultPlan.draw` once per event;
+when an armed fault matches the event's index it is returned exactly
+once (and recorded in ``fired``), so a fixed plan driven by the same
+traffic injects the same faults at the same places every run — the
+chaos soak in ``tests/test_faults.py`` leans on this to pin recovery
+behavior.
+
+Plans are picklable (sweep workers receive them across the process
+boundary); the only mutable runtime state is the per-kind counters,
+which each process advances independently — a worker that handles one
+training attempt sees event index 0 for it, which is why worker-scoped
+faults match on ``(target, attempt)`` instead of a global index.
+
+``FaultPlan.seeded`` derives a reproducible random plan from a seed so
+soak tests can sweep many chaos scenarios without hand-writing each.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+KINDS = ("forward", "latency", "worker", "save")
+
+
+class InjectedKernelError(RuntimeError):
+    """The failure a ``forward`` fault raises inside the engine —
+    stands in for a real kernel/backend exception."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One armed fault.
+
+    ``kind``: which event stream it fires on (see :data:`KINDS`).
+    ``at``: 0-based index into that event stream (for ``worker`` and
+    ``save`` faults, the *attempt* number for ``target``).
+    ``target``: workload name (worker/save faults) — ``None`` matches
+    any target.
+    ``seconds``: injected delay for ``latency`` faults.
+    """
+
+    kind: str
+    at: int
+    target: str | None = None
+    seconds: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"expected one of {KINDS}")
+        if self.at < 0:
+            raise ValueError("fault index must be >= 0")
+
+
+@dataclass
+class FaultPlan:
+    """A replayable chaos scenario.
+
+    ``sleeper`` is how latency faults pass time — ``time.sleep`` by
+    default, swapped for a virtual-clock advance in tests so injected
+    latency is deterministic *and* instant.
+    """
+
+    faults: list[Fault] = field(default_factory=list)
+    sleeper: object = time.sleep
+    fired: list[Fault] = field(default_factory=list)
+    _counters: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def seeded(cls, seed: int, forwards: int = 0, horizon: int = 64,
+               latencies: int = 0, max_seconds: float = 0.05,
+               **kwargs) -> "FaultPlan":
+        """Derive a random-but-replayable engine chaos plan: the same
+        seed always arms the same fault indices."""
+        rng = np.random.default_rng(seed)
+        faults = []
+        if forwards:
+            for at in sorted(rng.choice(horizon, size=forwards,
+                                        replace=False).tolist()):
+                faults.append(Fault(kind="forward", at=int(at)))
+        if latencies:
+            for at in sorted(rng.choice(horizon, size=latencies,
+                                        replace=False).tolist()):
+                faults.append(Fault(
+                    kind="latency", at=int(at),
+                    seconds=float(rng.uniform(0, max_seconds))))
+        return cls(faults=faults, **kwargs)
+
+    # -- event-stream protocol ------------------------------------------
+    def _index(self, kind: str) -> int:
+        index = self._counters.get(kind, 0)
+        self._counters[kind] = index + 1
+        return index
+
+    def draw(self, kind: str, target: str | None = None,
+             at: int | None = None) -> Fault | None:
+        """Consume one event of ``kind``; returns the armed fault for
+        it, at most once.  ``at`` overrides the automatic event counter
+        (worker/save faults match on the caller-supplied attempt
+        number)."""
+        index = self._index(kind) if at is None else at
+        for fault in self.faults:
+            if fault in self.fired or fault.kind != kind:
+                continue
+            if fault.at != index:
+                continue
+            if fault.target is not None and fault.target != target:
+                continue
+            self.fired.append(fault)
+            return fault
+        return None
+
+    # -- consumer helpers -----------------------------------------------
+    def kernel_check(self) -> None:
+        """One model forward is about to run; raise if a fault is
+        armed for it (the engine's retry loop re-draws, so a transient
+        single-shot fault is survivable)."""
+        fault = self.draw("forward")
+        if fault is not None:
+            raise InjectedKernelError(
+                f"injected kernel fault (forward #{fault.at})")
+
+    def latency_check(self) -> None:
+        """One scheduler step is starting; burn the injected delay
+        through ``sleeper`` if a latency fault is armed."""
+        fault = self.draw("latency")
+        if fault is not None:
+            self.sleeper(fault.seconds)
+
+    def worker_dies(self, target: str, attempt: int) -> bool:
+        """Should the sweep worker training ``target`` on this attempt
+        die abruptly (simulating a crashed process)?"""
+        return self.draw("worker", target=target, at=attempt) is not None
+
+    def corrupt_save(self, target: str, attempt: int) -> bool:
+        """Should the entry just published for ``target`` be corrupted
+        (simulating a torn write / bad disk)?"""
+        return self.draw("save", target=target, at=attempt) is not None
+
+    def reset(self) -> "FaultPlan":
+        """A fresh copy of this plan with nothing fired yet (replay)."""
+        return FaultPlan(faults=[replace(f) for f in self.faults],
+                         sleeper=self.sleeper)

@@ -4,8 +4,8 @@
 per model name (each wrapping its own
 :class:`~repro.core.PrunedInferenceEngine`, with its own per-model
 bucket queues and stream queue) and presents the single-engine
-surface — ``submit`` / ``open_stream`` / ``step`` / ``finish`` /
-``drain`` — with a ``model=`` argument for routing.  Request ids are
+surface — ``submit`` / ``open_stream`` / ``step`` / ``cancel`` /
+``finish`` — with a ``model=`` argument for routing.  Request ids are
 router-global, so callers never juggle per-engine id spaces.
 
 Scheduling is budget-shared: each router step splits ``step_budget``
@@ -17,6 +17,16 @@ out to per-stream KV state until pressure moves elsewhere.  Because
 every engine keeps its own pad widths and KV buffers, routing is
 bit-invisible: a request's outputs and hardware estimates are
 identical to serving it on that model's engine alone.
+
+Routing is also **health-checked**: every engine carries an
+:class:`~repro.serve.health.EngineHealth` circuit breaker fed by its
+step outcomes.  Consecutive failures degrade the engine (skipped
+until an exponential backoff window passes, then retried); enough of
+them quarantine it, at which point its waiting work is rerouted to
+the configured fallback model (``fallbacks={"model": "other"}``) or
+failed fast with typed ``engine_error`` results — never silently
+stalled — and new submissions fast-reject (or reroute) until the
+optional cooldown lets the engine back in as a half-open probe.
 """
 
 from __future__ import annotations
@@ -25,18 +35,40 @@ import time
 
 import numpy as np
 
-from .engine import ServeResult, ServingEngine
+from .engine import (REASON_ERROR, ServeResult, ServingEngine)
+from .health import EngineHealth, HealthPolicy
+
+
+class UnknownModelError(KeyError):
+    """Routing asked for a model name that is not mounted."""
+
+    def __init__(self, model: str, mounted):
+        self.model = model
+        self.mounted = sorted(mounted)
+        super().__init__(model)
+
+    def __str__(self) -> str:
+        return (f"unknown model {self.model!r}; mounted models: "
+                + ", ".join(repr(name) for name in self.mounted))
+
+
+class EngineQuarantined(RuntimeError):
+    """The target engine's circuit breaker is open and no fallback
+    model is mounted for it."""
 
 
 class ModelRouter:
     """Route requests across named serving engines with one queue
-    discipline and a shared per-step decode budget."""
+    discipline, a shared per-step decode budget, and per-engine
+    circuit breakers."""
 
     is_router = True
 
     def __init__(self, engines: dict[str, ServingEngine],
                  step_budget: int | None = None,
-                 clock=time.monotonic):
+                 clock=time.monotonic,
+                 health: HealthPolicy | None = None,
+                 fallbacks: dict[str, str] | None = None):
         if not engines:
             raise ValueError("ModelRouter needs at least one engine")
         self.engines = dict(engines)
@@ -45,6 +77,20 @@ class ModelRouter:
         self._routes: dict[int, tuple[str, int]] = {}
         self._next_id = 0
         self._turn = 0                   # rotating remainder pointer
+        self.health = {name: EngineHealth(health) for name in engines}
+        self.fallbacks = dict(fallbacks or {})
+        for model, fallback in self.fallbacks.items():
+            if model not in self.engines:
+                raise UnknownModelError(model, self.engines)
+            if fallback not in self.engines:
+                raise UnknownModelError(fallback, self.engines)
+            if fallback == model:
+                raise ValueError(f"model {model!r} cannot fall back "
+                                 "to itself")
+        # router-terminal results (fast-rejected submissions) and their
+        # not-yet-reported ids
+        self._local: dict[int, ServeResult] = {}
+        self._instant: list[int] = []
 
     # -- routing --------------------------------------------------------
     def _engine(self, model: str | None) -> tuple[str, ServingEngine]:
@@ -56,8 +102,24 @@ class ModelRouter:
         try:
             return model, self.engines[model]
         except KeyError:
-            raise KeyError(f"unknown model {model!r}; mounted models: "
-                           f"{sorted(self.engines)}") from None
+            raise UnknownModelError(model, self.engines) from None
+
+    def _route_healthy(self, model: str | None) -> tuple[str,
+                                                         ServingEngine]:
+        """Resolve a model for new work, walking the fallback chain
+        away from quarantined engines."""
+        name, engine = self._engine(model)
+        seen = set()
+        while self.health[name].quarantined:
+            seen.add(name)
+            fallback = self.fallbacks.get(name)
+            if fallback is None or fallback in seen:
+                raise EngineQuarantined(
+                    f"model {name!r} is quarantined "
+                    f"({self.health[name].last_error!r}) and no healthy "
+                    "fallback is mounted")
+            name, engine = fallback, self.engines[fallback]
+        return name, engine
 
     def _track(self, model: str, inner_id: int) -> int:
         router_id = self._next_id
@@ -65,34 +127,129 @@ class ModelRouter:
         self._routes[router_id] = (model, inner_id)
         return router_id
 
+    def _reject(self, kind: str, error: Exception) -> int:
+        """Mint a router id whose result is already a typed terminal
+        failure (fast-reject: quarantined target, no fallback)."""
+        router_id = self._next_id
+        self._next_id += 1
+        self._local[router_id] = ServeResult(
+            request_id=router_id, kind=kind, logits=np.zeros(0),
+            error=error, reason=REASON_ERROR)
+        self._instant.append(router_id)
+        return router_id
+
     def submit(self, inputs: np.ndarray, mask: np.ndarray | None = None,
-               model: str | None = None, now: float | None = None) -> int:
-        name, engine = self._engine(model)
+               model: str | None = None, now: float | None = None,
+               deadline: float | None = None,
+               ttl: float | None = None) -> int:
+        try:
+            name, engine = self._route_healthy(model)
+        except EngineQuarantined as error:
+            return self._reject("classify", error)
         now = self._clock() if now is None else now
-        return self._track(name, engine.submit(inputs, mask, now=now))
+        return self._track(name, engine.submit(
+            inputs, mask, now=now, deadline=deadline, ttl=ttl))
 
     def open_stream(self, prompt: np.ndarray, max_new_tokens: int,
                     model: str | None = None,
-                    now: float | None = None) -> int:
-        name, engine = self._engine(model)
+                    now: float | None = None,
+                    deadline: float | None = None,
+                    ttl: float | None = None) -> int:
+        try:
+            name, engine = self._route_healthy(model)
+        except EngineQuarantined as error:
+            return self._reject("generate", error)
         now = self._clock() if now is None else now
-        return self._track(name, engine.open_stream(prompt,
-                                                    max_new_tokens,
-                                                    now=now))
+        return self._track(name, engine.open_stream(
+            prompt, max_new_tokens, now=now, deadline=deadline, ttl=ttl))
+
+    def cancel(self, request_id: int) -> bool:
+        """Cancel wherever the request is routed; False if already
+        terminal."""
+        if request_id in self._local:
+            return False
+        route = self._routes.get(request_id)
+        if route is None:
+            raise KeyError(f"unknown request {request_id}")
+        model, inner = route
+        return self.engines[model].cancel(inner)
 
     # -- queue introspection (same surface as ServingEngine) ------------
+    def _live_engines(self):
+        return ((name, engine) for name, engine in self.engines.items()
+                if not self.health[name].quarantined)
+
     def next_deadline(self) -> float | None:
-        deadlines = [d for engine in self.engines.values()
+        deadlines = [d for _, engine in self._live_engines()
                      if (d := engine.next_deadline()) is not None]
         return min(deadlines) if deadlines else None
 
     def queue_ready(self, now: float) -> bool:
-        return any(engine.queue_ready(now)
-                   for engine in self.engines.values())
+        return bool(self._instant) or any(
+            engine.queue_ready(now) for _, engine in self._live_engines())
 
     def has_pending(self) -> bool:
-        return any(engine.has_pending()
-                   for engine in self.engines.values())
+        return bool(self._instant) or any(
+            engine.has_pending() for _, engine in self._live_engines())
+
+    # -- health ---------------------------------------------------------
+    def health_states(self) -> dict[str, str]:
+        """{model: "healthy" | "degraded" | "quarantined"}."""
+        return {name: health.state
+                for name, health in self.health.items()}
+
+    def _quarantine(self, name: str, now: float,
+                    error: Exception) -> list[int]:
+        """The circuit just opened for ``name``: reroute its waiting
+        work to the fallback model (if one is mounted and alive), fail
+        everything else fast, and report the terminated ids.  Nothing
+        is ever left to stall in a dead engine's queues."""
+        engine = self.engines[name]
+        by_inner = {inner: rid
+                    for rid, (model, inner) in self._routes.items()
+                    if model == name}
+        completed: list[int] = []
+        fallback = self.fallbacks.get(name)
+        if fallback is not None and not self.health[fallback].quarantined:
+            target = self.engines[fallback]
+            requests, streams = engine.drain_waiting()
+            for request in requests:
+                rid = by_inner.get(request.request_id)
+                try:
+                    inner = target.submit(request.inputs, request.mask,
+                                          now=now,
+                                          deadline=request.deadline)
+                except Exception as reroute_error:  # noqa: BLE001
+                    if rid is not None:
+                        self._local[rid] = ServeResult(
+                            request_id=rid, kind="classify",
+                            logits=np.zeros(0), error=reroute_error,
+                            reason=REASON_ERROR)
+                        completed.append(rid)
+                        del self._routes[rid]
+                    continue
+                if rid is not None:
+                    self._routes[rid] = (fallback, inner)
+            for stream in streams:
+                rid = by_inner.get(stream.stream_id)
+                try:
+                    inner = target.open_stream(stream.tokens,
+                                               stream.max_new_tokens,
+                                               now=now,
+                                               deadline=stream.deadline)
+                except Exception as reroute_error:  # noqa: BLE001
+                    if rid is not None:
+                        self._local[rid] = ServeResult(
+                            request_id=rid, kind="generate",
+                            logits=np.zeros(0), error=reroute_error,
+                            reason=REASON_ERROR)
+                        completed.append(rid)
+                        del self._routes[rid]
+                    continue
+                if rid is not None:
+                    self._routes[rid] = (fallback, inner)
+        completed += self._completed_ids(name, engine.abort_all(error))
+        return completed
 
     # -- advancing ------------------------------------------------------
     def _stream_demand(self, engine: ServingEngine) -> int:
@@ -144,23 +301,46 @@ class ModelRouter:
         return shares
 
     def step(self, now: float | None = None) -> list[int]:
-        """Advance every mounted engine one step, splitting the shared
-        decode budget across the models with stream work.  Returns
-        router-global ids completed this step."""
+        """Advance every healthy mounted engine one step, splitting the
+        shared decode budget across the models with stream work.  Step
+        outcomes feed each engine's circuit breaker: a failing engine
+        is retried after exponential backoff, and a quarantined one has
+        its work rerouted or failed fast.  Returns router-global ids
+        completed this step."""
         now = self._clock() if now is None else now
+        completed, self._instant = self._instant, []
         demands = {name: self._stream_demand(engine)
-                   for name, engine in self.engines.items()}
+                   for name, engine in self._live_engines()}
         shares = self._shares(demands)
-        completed: list[int] = []
         for name in sorted(self.engines):
             engine = self.engines[name]
-            done = engine.step(now, budget=shares.get(name))
+            health = self.health[name]
+            if health.probe_due(now):
+                health.reinstate()       # half-open: one strike left
+            if not health.ready(now):
+                continue
+            try:
+                done = engine.step(now, budget=shares.get(name))
+            except Exception as error:   # noqa: BLE001 — breaker input
+                if health.record_failure(now, error) == "quarantined":
+                    completed += self._quarantine(name, now, error)
+                continue
             completed += self._completed_ids(name, done)
+            if engine.last_step_errors:
+                error = RuntimeError(
+                    f"{engine.last_step_errors} forward failure(s) in "
+                    f"one step of model {name!r}")
+                if health.record_failure(now, error) == "quarantined":
+                    completed += self._quarantine(name, now, error)
+            else:
+                health.record_success()
         return completed
 
     def flush(self) -> list[int]:
-        completed: list[int] = []
+        completed, self._instant = self._instant, []
         for name in sorted(self.engines):
+            if self.health[name].quarantined:
+                continue
             completed += self._completed_ids(name,
                                              self.engines[name].flush())
         return completed
@@ -181,6 +361,8 @@ class ModelRouter:
 
     # -- completion -----------------------------------------------------
     def result(self, request_id: int) -> ServeResult | None:
+        if request_id in self._local:
+            return self._local[request_id]
         route = self._routes.get(request_id)
         if route is None:
             return None
@@ -188,6 +370,11 @@ class ModelRouter:
         return self.engines[model].result(inner)
 
     def finish(self, request_id: int) -> ServeResult:
+        if request_id in self._local:
+            result = self._local.pop(request_id)
+            if result.error is not None:
+                raise result.error
+            return result
         route = self._routes.get(request_id)
         if route is None:
             raise KeyError(f"unknown request {request_id}")

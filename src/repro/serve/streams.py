@@ -30,6 +30,7 @@ class StreamState:
     tokens: np.ndarray                  # prompt + generated so far
     max_new_tokens: int
     arrival: float
+    deadline: float | None = None       # absolute; shed once passed
     # request-derived KV capacity (rows this stream may ever occupy);
     # set by the serving engine from prompt length + max_new_tokens so
     # kernel shapes never depend on batch composition
@@ -54,6 +55,9 @@ class StreamState:
     @property
     def length(self) -> int:
         return int(self.tokens.shape[0])
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
 
     def append(self, token: int) -> None:
         self.tokens = np.append(self.tokens, np.int64(token))
