@@ -7,14 +7,23 @@ requiring identical results at each rung:
 * the vectorized kernel beats the per-element scalar trace by >= 10x
   on a realistic tile;
 * the ``numpy-packed`` backend beats ``numpy-ref`` by >= 2x at a
-  paper-scale S=512 tile (the CI gate for the packed fast path).
+  paper-scale S=512 tile (the CI gate for the packed fast path);
+* the fused ``matrix_many`` path beats the per-job ``matrix`` loop on
+  a serving-shaped decode mix: >= 1.5x with a warm pack cache (the
+  headline cross-job fusion gate) and >= 1.1x cacheless (the
+  regression floor for banding/batch-packing alone).
+
+When ``REPRO_BENCH_DIR`` is set (CI does), each gate also appends its
+measured numbers to a versioned ``BENCH_kernel_micro.json`` artifact.
 """
 
 import time
 
 import numpy as np
 
-from repro.hw.backends import get_backend
+from repro.eval import record_bench
+from repro.hw.backends import (KernelJob, PlaneGroupCache, get_backend,
+                               matrix_many_loop, run_many)
 from repro.hw.bitserial import bitserial_cycles_matrix, bitserial_dot_product
 
 TILE = 48
@@ -25,6 +34,8 @@ THRESHOLD = 100_000.0
 
 PAPER_TILE = 512                 # the paper's long-sequence regime
 PACKED_MIN_SPEEDUP = 2.0
+FUSED_CACHED_MIN_SPEEDUP = 1.5   # warm pack cache, decode-shaped mix
+FUSED_COLD_MIN_SPEEDUP = 1.1     # cacheless fusion regression floor
 
 
 def _make_tile():
@@ -102,4 +113,65 @@ def test_packed_backend_speedup_at_paper_scale():
     print(f"\nnumpy-packed {packed_seconds * 1e3:.1f} ms vs numpy-ref "
           f"{ref_seconds * 1e3:.1f} ms at S={PAPER_TILE} "
           f"-> {speedup:.2f}x")
+    record_bench("kernel_micro", {
+        "gate": "packed_vs_ref_paper_scale",
+        "ref_seconds": ref_seconds, "packed_seconds": packed_seconds,
+        "speedup": speedup,
+    }, context={"tile": PAPER_TILE, "dim": DIM,
+                "magnitude_bits": MAGNITUDE_BITS, "group": GROUP})
     assert speedup >= PACKED_MIN_SPEEDUP
+
+
+def _serving_step_jobs(streams: int = 96):
+    """A decode-regime serving step: one short-q job per live stream
+    against that stream's grown key cache (mixed context lengths,
+    shared head dim) — the shape ``run_many`` fuses in production."""
+    rng = np.random.default_rng(2)
+    jobs = []
+    for stream in range(streams):
+        s_q = int(rng.integers(1, 5))
+        s_k = int(rng.integers(48, 129))
+        q = rng.integers(-2047, 2048, (s_q, DIM))
+        k = rng.integers(-2047, 2048, (s_k, DIM))
+        jobs.append(KernelJob(
+            q=q, k=k, threshold=float(rng.integers(50_000, 150_000)),
+            magnitude_bits=MAGNITUDE_BITS, group=GROUP,
+            pack_key=("stream", stream)))
+    return jobs
+
+
+def test_fused_many_speedup_at_serving_shapes():
+    """CI gate: on a decode-shaped job mix, fused ``matrix_many`` must
+    hold >= 1.1x over the per-job loop cold and >= 1.5x with a warm
+    pack-once cache, while staying bit-identical to the loop."""
+    packed = get_backend("numpy-packed")
+    jobs = _serving_step_jobs()
+
+    loop_results = matrix_many_loop(packed, jobs)
+    fused_results = run_many(packed, jobs)
+    for fused_job, loop_job in zip(fused_results, loop_results):
+        for ours, theirs, name in zip(fused_job, loop_job,
+                                      ("cycles", "pruned", "scores")):
+            np.testing.assert_array_equal(ours, theirs, err_msg=name)
+
+    loop_seconds = _best_of(lambda: matrix_many_loop(packed, jobs))
+    cold_seconds = _best_of(lambda: run_many(packed, jobs))
+    cache = PlaneGroupCache()
+    run_many(packed, jobs, cache=cache)      # warm the pack cache
+    warm_seconds = _best_of(lambda: run_many(packed, jobs, cache=cache))
+    cold_speedup = loop_seconds / cold_seconds
+    warm_speedup = loop_seconds / warm_seconds
+    print(f"\nfused matrix_many over {len(jobs)} decode jobs: loop "
+          f"{loop_seconds * 1e3:.1f} ms, fused cold "
+          f"{cold_seconds * 1e3:.1f} ms ({cold_speedup:.2f}x), fused + "
+          f"warm cache {warm_seconds * 1e3:.1f} ms "
+          f"({warm_speedup:.2f}x)")
+    record_bench("kernel_micro", {
+        "gate": "fused_many_serving_shapes",
+        "loop_seconds": loop_seconds, "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds, "cold_speedup": cold_speedup,
+        "warm_speedup": warm_speedup,
+    }, context={"jobs": len(jobs), "dim": DIM,
+                "magnitude_bits": MAGNITUDE_BITS, "group": GROUP})
+    assert cold_speedup >= FUSED_COLD_MIN_SPEEDUP
+    assert warm_speedup >= FUSED_CACHED_MIN_SPEEDUP

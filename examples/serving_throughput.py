@@ -219,6 +219,12 @@ def main(argv=None) -> int:
 
     speedups = (run_generate(args) if args.mode == "generate"
                 else run_classify(args))
+    # versioned CI benchmark artifact (no-op unless REPRO_BENCH_DIR)
+    from repro.eval import record_bench
+    record_bench("serving_throughput", dict(speedups),
+                 context={"mode": args.mode, "streams": args.streams,
+                          "stagger": args.stagger, "quick": args.quick,
+                          "buckets": args.buckets})
 
     failed = False
     if args.check and speedups["batched"] < args.min_speedup:

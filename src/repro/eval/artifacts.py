@@ -43,6 +43,49 @@ def save_experiment(result, directory: str) -> str:
     return json_path
 
 
+BENCH_ENV = "REPRO_BENCH_DIR"
+_BENCH_SCHEMA = 1
+
+
+def record_bench(name: str, metrics: dict, context: dict | None = None,
+                 directory: str | None = None) -> str | None:
+    """Append one benchmark run to a versioned ``BENCH_<name>.json``.
+
+    Benchmarks call this after measuring; recording is opt-in via
+    ``directory`` or the ``REPRO_BENCH_DIR`` environment variable (CI
+    sets it and uploads the files as artifacts), so local test runs
+    stay side-effect free.  Returns the path written, or None when
+    recording is off.
+
+    The file holds ``{"schema": 1, "name": ..., "runs": [...]}``; each
+    call appends ``{"metrics": ..., "context": ...}`` so reruns in one
+    CI job accumulate rather than overwrite.  The write is
+    atomic (temp file + rename) so a crashed run never leaves a
+    truncated artifact.
+    """
+    directory = directory or os.environ.get(BENCH_ENV)
+    if not directory:
+        return None
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    payload = {"schema": _BENCH_SCHEMA, "name": name, "runs": []}
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                existing = json.load(fh)
+            if existing.get("schema") == _BENCH_SCHEMA:
+                payload = existing
+        except (OSError, ValueError):
+            pass                     # corrupt artifact: start fresh
+    payload["runs"].append({"metrics": _jsonable(metrics),
+                            "context": _jsonable(context or {})})
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    os.replace(tmp, path)
+    return path
+
+
 def save_sweep_report(report, directory: str) -> str:
     """Write ``sweep.json`` (per-task status, timings and metrics of a
     :class:`~repro.eval.sweep.SweepReport`); returns the path."""

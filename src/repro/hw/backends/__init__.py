@@ -25,22 +25,59 @@ Shipped backends:
 ``numba``
     optional JIT per-pair kernel with true per-score early exit;
     auto-registered only when :mod:`numba` imports.
+``torch``
+    optional torch backend running the same plane-group decomposition
+    through (GPU-capable) torch matmuls; auto-registered only when
+    :mod:`torch` imports.
 
 Selection precedence: an explicit ``backend=`` argument
 (``TileSimulator``, ``bitserial_cycles_matrix``), then
 ``TileConfig.kernel_backend``, then the ``REPRO_KERNEL_BACKEND``
 environment variable, then :data:`DEFAULT_BACKEND`.
+
+Beyond per-tile ``matrix`` calls, backends may implement a batched
+``matrix_many`` entry point taking a list of :class:`KernelJob` and
+returning one ``(cycles, pruned, scores)`` triple per job.  The
+serving regime issues many small tiles per step (one per
+stream/layer/head), and a fused implementation can amortize per-call
+pack/GEMM overhead across them; ``numpy-packed`` and ``torch`` fuse
+all jobs sharing a head-dim into single GEMMs.  Backends without
+``matrix_many`` are driven through :func:`run_many`, which falls back
+to a per-job ``matrix`` loop — results are bit-identical either way,
+pinned by ``tests/test_fused.py``.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Protocol, runtime_checkable
+from dataclasses import dataclass
+from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
 
 ENV_VAR = "REPRO_KERNEL_BACKEND"
 DEFAULT_BACKEND = "numpy-ref"
+
+
+@dataclass(frozen=True, eq=False)
+class KernelJob:
+    """One score-tile evaluation request for the batched kernel tier.
+
+    Mirrors the argument list of :meth:`KernelBackend.matrix`, plus an
+    optional ``pack_key``: a hashable identity (stream/layer/head) for
+    the key matrix, letting pack-once plane caches reuse packed planes
+    across decode steps where K only grows by a suffix.  ``None``
+    means "don't cache".
+    """
+
+    q: Any
+    k: Any
+    threshold: float
+    magnitude_bits: int
+    group: int
+    valid: np.ndarray | None = None
+    margin_scale: float = 1.0
+    pack_key: Any = None
 
 
 @runtime_checkable
@@ -63,6 +100,41 @@ class KernelBackend(Protocol):
                margin_scale: float = 1.0
                ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         ...
+
+    # Optional batched tier.  Backends may omit this — run_many()
+    # falls back to a per-job matrix loop — but implementations must
+    # stay bit-identical to that loop for every job mix.
+    # def matrix_many(self, jobs, cache=None): ...
+
+
+def matrix_many_loop(backend: KernelBackend, jobs, cache=None):
+    """Reference ``matrix_many``: a per-job ``matrix`` loop.
+
+    Defines the semantics every fused implementation must reproduce
+    bit-for-bit.  ``cache`` is accepted for signature compatibility;
+    the loop path re-packs per call and ignores it.
+    """
+    return [backend.matrix(job.q, job.k, job.threshold,
+                           job.magnitude_bits, job.group,
+                           valid=job.valid,
+                           margin_scale=job.margin_scale)
+            for job in jobs]
+
+
+def run_many(backend: KernelBackend, jobs, cache=None):
+    """Evaluate a batch of :class:`KernelJob` on ``backend``.
+
+    Dispatches to the backend's fused ``matrix_many`` when it has one,
+    else to the per-job loop — callers get identical results either
+    way and never need to feature-test the backend.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    fused = getattr(backend, "matrix_many", None)
+    if fused is None:
+        return matrix_many_loop(backend, jobs, cache=cache)
+    return fused(jobs, cache=cache)
 
 
 _REGISTRY: dict[str, KernelBackend] = {}
@@ -128,6 +200,15 @@ try:
 except ImportError:           # pragma: no cover - numba is optional
     numba_jit = None
 
-__all__ = ["KernelBackend", "register_backend", "unregister_backend",
+try:
+    from . import torch_gemm  # noqa: E402,F401  (registers torch)
+except ImportError:           # pragma: no cover - torch is optional
+    torch_gemm = None
+
+from .packed_common import PlaneGroupCache  # noqa: E402
+
+__all__ = ["KernelBackend", "KernelJob", "PlaneGroupCache",
+           "register_backend", "unregister_backend",
            "get_backend", "list_backends", "resolve_backend_name",
+           "run_many", "matrix_many_loop",
            "ENV_VAR", "DEFAULT_BACKEND"]

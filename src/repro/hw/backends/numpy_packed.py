@@ -1,21 +1,28 @@
 """``numpy-packed``: the packed-bitplane fast path.
 
-Same semantics as ``numpy-ref``, restructured around three ideas:
+Same semantics as ``numpy-ref``, restructured around the shared
+machinery in :mod:`repro.hw.backends.packed_common`:
 
 1. **Packed sign-magnitude words + a per-key plane cache.**  Keys are
    packed into sign-magnitude words (sign bit above the magnitude
    field) once, and each DPU cycle's plane group is sliced out of the
    words as one integer field — ``sign * ((mag >> lo) & mask)``
    scaled by ``2^lo`` — so the kernel touches O(cycles) small key
-   matrices instead of O(bit-planes) full plane tensors.
+   matrices instead of O(bit-planes) full plane tensors.  With a
+   :class:`~repro.hw.backends.PlaneGroupCache` the pack happens once
+   per key matrix and decode steps append only the new suffix rows.
 
-2. **One fused GEMM.**  All per-cycle plane groups (plus the sign
-   plane needed for the margin) stack into a single
-   ``(cycles+1) * S_k x D`` operand, so the whole tile needs exactly
-   two matrix products.  When every product provably fits float32's
-   24-bit exact-integer window the GEMM runs in float32 at twice the
-   dgemm throughput — the power-of-two plane scaling only shifts the
-   exponent, so exactness is preserved and results stay bit-identical.
+2. **Fused GEMMs.**  All per-cycle plane groups (plus the sign plane
+   needed for the margin) stack into a single
+   ``(cycles+1) * S_k x D`` operand, so one tile needs exactly two
+   matrix products — and ``matrix_many`` goes further, stacking every
+   job that shares a head-dim/plane schedule into one banded
+   block-diagonal batched GEMM, amortizing per-call BLAS and Python
+   overhead across the many small tiles of a serving step.  When every
+   product provably fits float32's 24-bit exact-integer window the
+   GEMMs run in float32 at twice the dgemm throughput — the
+   power-of-two plane scaling only shifts the exponent, so exactness
+   is preserved and results stay bit-identical.
 
 3. **Integer margin scan.**  The margin/termination sweep — the other
    half of the runtime — runs in int32 whenever partial sums, margins
@@ -32,13 +39,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..bitserial import _plane_schedule
-from . import register_backend
-
-# float32 keeps integers exact below 2^24; int32 is safe while
-# |partial| + |margin| stays below 2^31 (we require < 2^30 each)
-_F32_EXACT = 1 << 24
-_I32_SAFE = 1 << 30
+from . import KernelJob, register_backend
+from .packed_common import fused_matrix_many, numpy_batched_gemm
 
 
 def matrix(q, k, threshold: float, magnitude_bits: int, group: int,
@@ -46,101 +48,10 @@ def matrix(q, k, threshold: float, magnitude_bits: int, group: int,
            ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Packed-bitplane evaluation of a whole score tile (contract:
     :func:`repro.hw.bitserial.bitserial_cycles_matrix`)."""
-    q = np.asarray(q, dtype=np.int64)
-    k = np.asarray(k, dtype=np.int64)
-    signs = np.sign(k)
-    schedule = _plane_schedule(magnitude_bits, group)
-    full_cycles = len(schedule)
-    s_q, s_k = q.shape[0], k.shape[0]
-    dim = q.shape[1] if q.ndim == 2 else 0
-    qmax = int(np.abs(q).max()) if q.size else 0
-
-    # pack keys as sign-magnitude words: sign bit above the magnitudes;
-    # masking matches the reference, which only ever reads the
-    # magnitude_bits planes of an out-of-range key
-    field_mask = (np.int64(1) << magnitude_bits) - 1
-    words = np.where(signs < 0, np.int64(1) << magnitude_bits,
-                     np.int64(0)) | (np.abs(k) & field_mask)
-
-    # (count of magnitude planes, lowest plane) per DPU cycle; chunks
-    # from the schedule cover contiguous planes [hi..lo]
-    cycle_groups: list[tuple[int, int]] = []
-    for chunk in schedule:
-        planes = [p for p in chunk if p >= 0]
-        cycle_groups.append((len(planes), planes[-1] if planes else 0))
-    mag_groups = [(n, lo) for n, lo in cycle_groups if n]
-    n_groups = len(mag_groups)
-
-    # fused GEMM operand: per-cycle plane-group caches + the sign plane
-    group_max = max((((1 << n) - 1) << lo for n, lo in mag_groups),
-                    default=0)
-    # max(..., 2) also covers the |q|@|s| + q@s sum inside `positive`
-    f32_ok = qmax * max(group_max, 2) * max(dim, 1) < _F32_EXACT
-    gemm_dtype = np.float32 if f32_ok else np.float64
-    stacked = np.empty((n_groups + 1, s_k, dim), dtype=gemm_dtype)
-    for index, (n, lo) in enumerate(mag_groups):
-        field = (words >> lo) & ((np.int64(1) << n) - 1)
-        np.multiply(signs * field, np.int64(1) << lo,
-                    out=stacked[index], casting="unsafe")
-    stacked[n_groups] = signs
-
-    flat = stacked.reshape((n_groups + 1) * s_k, dim)
-    fused = (q.astype(gemm_dtype) @ flat.T).reshape(s_q, n_groups + 1,
-                                                    s_k)
-    abs_qs = np.abs(q).astype(gemm_dtype) @ np.abs(stacked[n_groups]).T
-
-    # margin base: sum of q*sign over dims where the product can push
-    # the score up = (|q| @ |s|^T + q @ s^T) / 2, all integer-exact
-    positive = ((abs_qs + fused[:, n_groups]) * 0.5
-                ).astype(np.float64, copy=False)
-
-    # pick the scan dtype: int32 passes whenever every quantity fits
-    margin_bound = qmax * max(dim, 1) * max((1 << magnitude_bits) - 1, 1)
-    int_scan = (margin_scale == 1.0 and np.isfinite(threshold)
-                and margin_bound < _I32_SAFE
-                and abs(threshold) < _I32_SAFE)
-    if int_scan:
-        scan_dtype = np.int32
-        # lhs is an exact integer, so lhs < th  <=>  lhs < ceil(th)
-        scan_threshold = int(np.ceil(threshold))
-    else:
-        scan_dtype = np.float64
-        scan_threshold = float(threshold)
-    plane_sums = fused[:, :n_groups].astype(scan_dtype, copy=False)
-    positive_scan = positive.astype(scan_dtype, copy=False)
-
-    partial = np.zeros((s_q, s_k), dtype=scan_dtype)
-    margin_buf = np.empty((s_q, s_k), dtype=scan_dtype)
-    below = np.empty((s_q, s_k), dtype=bool)
-    terminated = np.zeros((s_q, s_k), dtype=bool)
-    terminated_cycles = np.zeros((s_q, s_k), dtype=np.int8)
-    remaining = magnitude_bits
-    cursor = 0
-    for cycle_index, (n, _) in enumerate(cycle_groups, start=1):
-        if n:
-            np.add(partial, plane_sums[:, cursor], out=partial)
-            cursor += 1
-            remaining -= n
-        if cycle_index == full_cycles:
-            break
-        np.multiply(positive_scan, (1 << remaining) - 1, out=margin_buf)
-        if margin_scale != 1.0:
-            np.multiply(margin_buf, margin_scale, out=margin_buf)
-        np.add(margin_buf, partial, out=margin_buf)
-        np.less(margin_buf, scan_threshold, out=below)
-        np.logical_or(terminated, below, out=terminated)
-        # a score terminated by cycle c contributes 1 for every later
-        # boundary, so cycles = full - sum(terminated-by) recovers the
-        # first-termination cycle (and full for survivors)
-        np.add(terminated_cycles, terminated, out=terminated_cycles,
-               casting="unsafe")
-
-    scores = partial.astype(np.float64, copy=False)
-    cycles = (full_cycles - terminated_cycles).astype(np.int64)
-    pruned = terminated | (scores < threshold)
-    if valid is not None:
-        cycles = np.where(valid, cycles, 0)
-    return cycles, pruned, scores
+    job = KernelJob(q=q, k=k, threshold=threshold,
+                    magnitude_bits=magnitude_bits, group=group,
+                    valid=valid, margin_scale=margin_scale)
+    return fused_matrix_many([job], numpy_batched_gemm)[0]
 
 
 class NumpyPackedBackend:
@@ -149,13 +60,18 @@ class NumpyPackedBackend:
 
     name = "numpy-packed"
     description = ("packed plane-group cache + fused GEMM + integer "
-                   "margin scan (>=2x numpy-ref at paper-scale tiles)")
+                   "margin scan (>=2x numpy-ref at paper-scale tiles; "
+                   "batched matrix_many fuses whole serving steps)")
 
     @staticmethod
     def matrix(q, k, threshold, magnitude_bits, group, valid=None,
                margin_scale=1.0):
         return matrix(q, k, threshold, magnitude_bits, group,
                       valid=valid, margin_scale=margin_scale)
+
+    @staticmethod
+    def matrix_many(jobs, cache=None):
+        return fused_matrix_many(jobs, numpy_batched_gemm, cache=cache)
 
 
 BACKEND = register_backend(NumpyPackedBackend())

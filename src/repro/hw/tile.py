@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .backends import get_backend
+from .backends import KernelJob, PlaneGroupCache, get_backend, run_many
 from .bitserial import serial_cycle_count
 from .config import TileConfig
 from .workload import HeadJob
@@ -63,26 +63,52 @@ class TileRunResult:
 
 
 class TileSimulator:
-    def __init__(self, config: TileConfig, backend: str | None = None):
+    def __init__(self, config: TileConfig, backend: str | None = None,
+                 pack_cache: PlaneGroupCache | None = None):
         """``backend`` overrides the kernel backend by registry name;
         otherwise ``config.kernel_backend``, then the
         ``REPRO_KERNEL_BACKEND`` environment variable, decide (see
         :mod:`repro.hw.backends`).  Resolution happens here so a typo
-        fails at construction, not mid-run."""
+        fails at construction, not mid-run.
+
+        ``pack_cache`` shares a pack-once plane-group cache across
+        runs (the serving engines pass a per-engine cache so decode
+        steps reuse packed keys); by default each simulator gets its
+        own, which still captures the growing-K reuse *within* one
+        job list.  Jobs opt in by carrying a ``pack_key`` in their
+        metadata; backends without a fused tier ignore the cache.
+        """
         self.config = config
         self.backend = get_backend(backend or config.kernel_backend)
+        self.pack_cache = (PlaneGroupCache() if pack_cache is None
+                           else pack_cache)
+
+    # -- batched kernel dispatch ----------------------------------------
+    def _kernel_many(self, jobs: list[HeadJob], quants: list):
+        """One ``run_many`` call over every early-termination kernel
+        job in the list — fused backends amortize pack/GEMM overhead
+        across the whole step."""
+        config = self.config
+        if not config.early_termination:
+            return [None] * len(jobs)
+        kernel_jobs = [
+            KernelJob(q=q, k=k, threshold=threshold,
+                      magnitude_bits=config.magnitude_bits,
+                      group=config.serial_bits, valid=job.valid,
+                      pack_key=job.metadata.get("pack_key"))
+            for job, (q, k, threshold) in zip(jobs, quants)]
+        return run_many(self.backend, kernel_jobs,
+                        cache=self.pack_cache)
 
     # -- per-job scheduling, all whole-array ops ------------------------
-    def _job_activity(self, job: HeadJob):
+    def _job_activity(self, job: HeadJob, quant, kernel):
         config = self.config
-        q, k, threshold = job.quantized_for(config.magnitude_bits)
+        q, k, threshold = quant
         valid = job.valid
         full = serial_cycle_count(config.qk_bits, config.serial_bits)
 
-        if config.early_termination:
-            cycles, pruned, scores = self.backend.matrix(
-                q, k, threshold, config.magnitude_bits,
-                config.serial_bits, valid=valid)
+        if kernel is not None:
+            cycles, pruned, scores = kernel
         else:
             cycles = np.where(valid, full, 0)
             scores = (q.astype(np.float64) @ k.T.astype(np.float64))
@@ -139,8 +165,12 @@ class TileSimulator:
     def run(self, jobs: list[HeadJob]) -> TileRunResult:
         counters = TileCounters()
         total = fe_all = be_all = stall = 0
-        for job in jobs:
-            job_total, fe, be, job_counters = self._job_activity(job)
+        quants = [job.quantized_for(self.config.magnitude_bits)
+                  for job in jobs]
+        kernels = self._kernel_many(jobs, quants)
+        for job, quant, kernel in zip(jobs, quants, kernels):
+            job_total, fe, be, job_counters = self._job_activity(
+                job, quant, kernel)
             total += job_total
             fe_all += fe
             be_all += be

@@ -73,12 +73,21 @@ def job_from_arrays(q: np.ndarray, k: np.ndarray, threshold: float,
     )
 
 
-def jobs_from_records(records) -> list[HeadJob]:
+def jobs_from_records(records, pack_group=None) -> list[HeadJob]:
     """Flatten captured attention records into per-(batch, head) jobs.
 
     Records must have been captured with ``record_qk=True`` so the
     actual Q/K activations are available (the recorded scores already
-    include the 1/sqrt(d) scale, and so do the stored queries)."""
+    include the 1/sqrt(d) scale, and so do the stored queries).
+
+    Each job carries a ``pack_key`` — ``(pack_group, layer, batch,
+    head)`` — identifying its key matrix for the pack-once plane
+    caches: across the decode records of one stream the same key sees
+    K grow by a suffix, so packed planes are reused instead of rebuilt
+    per step.  Pass a stable ``pack_group`` (e.g. a stream id) when
+    jobs from different calls should share cache entries; the default
+    ``None`` still distinguishes layers/heads within one call.
+    """
     jobs: list[HeadJob] = []
     for record in records:
         if record.queries is None or record.keys is None:
@@ -89,8 +98,11 @@ def jobs_from_records(records) -> list[HeadJob]:
         for b in range(batch):
             valid = None if record.valid is None else record.valid[b]
             for h in range(heads):
-                jobs.append(job_from_arrays(
+                job = job_from_arrays(
                     record.queries[b, h], record.keys[b, h],
                     record.threshold, valid,
-                    layer_index=record.layer_index, head=h))
+                    layer_index=record.layer_index, head=h)
+                job.metadata["pack_key"] = (
+                    pack_group, record.layer_index, b, h)
+                jobs.append(job)
     return jobs

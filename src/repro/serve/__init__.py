@@ -8,7 +8,7 @@ control, and deterministic fault injection (``FaultPlan``)."""
 
 from .aio import AsyncServingEngine
 from .batcher import BatchPolicy, CoalescedBatch, DynamicBatcher, \
-    QueuedRequest, coalesce
+    LadderOption, QueuedRequest, coalesce
 from .engine import (DeadlineExceeded, REASON_CANCELLED, REASON_DEADLINE,
                      REASON_ERROR, REASON_OK, REASON_SHED,
                      RequestCancelled, ServeResult, ServingEngine,
@@ -22,7 +22,8 @@ from .streams import KVSlotBuffer, StreamState, stack_caches, \
     unstack_caches
 
 __all__ = ["AsyncServingEngine", "BatchPolicy", "CoalescedBatch",
-           "DynamicBatcher", "QueuedRequest", "coalesce", "ServeResult",
+           "DynamicBatcher", "LadderOption", "QueuedRequest", "coalesce",
+           "ServeResult",
            "ServingEngine", "ServingStats", "HardwareTotals",
            "slice_record", "ModelRouter", "SchedulerConfig", "StepPlan",
            "StepPlanner", "KVSlotBuffer", "StreamState", "stack_caches",

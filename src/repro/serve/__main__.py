@@ -80,6 +80,21 @@ def make_serving(args, engine, hw_config) -> ServingEngine:
         continuous=args.continuous, preempt_after=args.preempt_after)
 
 
+def print_reason_stats(name: str, stats, health: str | None = None
+                       ) -> None:
+    """One observability line: terminal outcomes by reason code plus
+    the reliability counters (and the circuit-breaker state when a
+    router is mounted)."""
+    reasons = ", ".join(f"{reason}={count}"
+                        for reason, count in sorted(stats.reasons.items()))
+    line = (f"  [stats] {name}: {stats.completed} terminal "
+            f"({reasons or 'none'}); errors={stats.errors} "
+            f"retries={stats.retries}")
+    if health is not None:
+        line += f" health={health}"
+    print(line)
+
+
 def classify_demo(args, engine: PrunedInferenceEngine,
                   hw_config) -> None:
     print("== one-shot classification traffic ==")
@@ -104,7 +119,10 @@ def classify_demo(args, engine: PrunedInferenceEngine,
           f"{stats.hardware.runtime_ns / 1e3:.1f} us, "
           f"{stats.hardware.energy_pj / 1e6:.2f} uJ "
           f"({stats.hardware.speedup_vs_baseline:.2f}x cycles, "
-          f"{stats.hardware.energy_reduction:.2f}x energy vs baseline)\n")
+          f"{stats.hardware.energy_reduction:.2f}x energy vs baseline)")
+    if args.stats:
+        print_reason_stats("classifier", stats)
+    print()
 
 
 def generate_demo(args, engine: PrunedInferenceEngine,
@@ -142,6 +160,8 @@ def generate_demo(args, engine: PrunedInferenceEngine,
         print(f"     scheduler: {stats.admitted} admissions, "
               f"{stats.preemptions} preemptions, "
               f"{stats.resumes} resumes over {stats.steps} planned steps")
+    if args.stats:
+        print_reason_stats("lm", stats)
 
 
 def router_demo(args, engines: dict[str, PrunedInferenceEngine],
@@ -192,6 +212,11 @@ def router_demo(args, engines: dict[str, PrunedInferenceEngine],
               f"{stats.batches} batches (mean size "
               f"{stats.mean_batch_size:.1f}), "
               f"{stats.hardware.runtime_ns / 1e3:.1f} us total")
+    if args.stats:
+        summary = router.stats_summary()
+        for name, stats in router.stats.items():
+            print_reason_stats(name, stats,
+                               health=summary[name]["health"])
 
 
 def main(argv=None) -> None:
@@ -228,6 +253,10 @@ def main(argv=None) -> None:
                              "at one mounted model (a typo exits with "
                              "the router's unknown-model error instead "
                              "of a traceback)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-engine terminal-reason counters "
+                             "(and circuit-breaker states under the "
+                             "router) after each demo")
     parser.add_argument("--kernel-backend", default=None,
                         help="bit-serial kernel backend for hardware "
                              "estimates (see repro.hw.backends)")

@@ -13,6 +13,30 @@ from dataclasses import dataclass
 import numpy as np
 
 
+def _ceil_div(n: int, d: int) -> int:
+    return -(-n // d)
+
+
+@dataclass(frozen=True)
+class LadderOption:
+    """One candidate bucket ladder and what the observed traffic would
+    have paid on it — the fullness-vs-padding tradeoff made explicit.
+
+    ``served_slots`` is the decision currency: every flushed batch
+    occupies ``max_batch_size`` model slots at its bucket's width, so
+    ``sum(ceil(n_b / B) * B * width_b)`` charges padding waste (wide
+    buckets) and empty-slot waste (many sparse buckets) in the same
+    unit.  ``padded_tokens`` alone — the old objective — always prefers
+    more buckets, which shatters small workloads into batches of one.
+    """
+
+    buckets: tuple[int, ...]
+    padded_tokens: int          # sum of bucket widths over requests
+    batches: int                # full flushes at max_batch_size
+    served_slots: int           # batches x batch size x width
+    fullness: float             # requests / (batches * max_batch_size)
+
+
 @dataclass(frozen=True)
 class BatchPolicy:
     """Coalescing knobs.
@@ -58,57 +82,108 @@ class BatchPolicy:
         return pad_to
 
     @classmethod
-    def from_observed(cls, lengths, max_buckets: int = 4,
-                      **kwargs) -> "BatchPolicy":
-        """Auto-tune the bucket ladder from an observed request-length
-        distribution.
+    def ladder_options(cls, lengths, max_buckets: int = 4,
+                       max_batch_size: int | None = None
+                       ) -> list["LadderOption"]:
+        """Score the best ladder at every bucket count 1..max_buckets.
 
-        Picks at most ``max_buckets`` pad widths minimizing the total
-        padded tokens the observed traffic would have paid (each
-        request pads to the smallest bucket that fits it), via an exact
-        O(u² · k) dynamic program over the ``u`` unique lengths.  The
-        widest bucket is always ``max(lengths)``, so the returned
-        ladder serves every observed length.  Remaining ``BatchPolicy``
-        fields pass through ``kwargs``.
+        For each ``k`` an exact O(u² · k) dynamic program over the
+        ``u`` unique observed lengths finds the ladder minimizing
+        ``served_slots`` — every batch occupies ``max_batch_size``
+        slots at its bucket's width, so the objective charges both the
+        padding tax of wide buckets *and* the empty-slot tax of
+        splitting a small workload across many sparse buckets (the
+        failure mode of a padded-tokens-only objective with few
+        observed lengths: every length its own bucket, every batch
+        nearly empty).  The widest bucket is always ``max(lengths)``
+        so every observed length is servable.  Returns one
+        :class:`LadderOption` per bucket count, ascending — callers
+        can inspect the fullness-vs-padding tradeoff;
+        :meth:`from_observed` just takes the cheapest.
         """
         lengths = [int(n) for n in lengths]
         if not lengths or any(n < 1 for n in lengths):
             raise ValueError("from_observed needs positive lengths")
         if max_buckets < 1:
             raise ValueError("max_buckets must be >= 1")
+        size = (max_batch_size if max_batch_size is not None
+                else cls.max_batch_size)
+        if size < 1:
+            raise ValueError("max_batch_size must be >= 1")
         unique = sorted(set(lengths))
-        counts = {n: lengths.count(n) for n in unique}
-        if len(unique) <= max_buckets:
-            return cls(buckets=tuple(unique), **kwargs)
-
-        # cost[i][j]: padded tokens when unique[i..j] all pad to
-        # unique[j]; best[k][j]: min cost covering unique[0..j] with k
-        # buckets, the last at unique[j]
         u = len(unique)
-        weight = [counts[n] for n in unique]
+        weight = [lengths.count(n) for n in unique]
         prefix = [0] * (u + 1)
         for i, w in enumerate(weight):
             prefix[i + 1] = prefix[i] + w
-        cost = [[(prefix[j + 1] - prefix[i]) * unique[j]
+
+        # cost[i][j]: served slots when unique[i..j] form one bucket
+        # at width unique[j] — their requests share one queue, so they
+        # flush in ceil(count / size) batches of `size` slots each
+        cost = [[_ceil_div(prefix[j + 1] - prefix[i], size)
+                 * size * unique[j]
                  for j in range(u)] for i in range(u)]
-        best = [[float("inf")] * u for _ in range(max_buckets + 1)]
-        choice = [[-1] * u for _ in range(max_buckets + 1)]
+        # best[k][j]: min served slots covering unique[0..j] with k
+        # buckets, the last at unique[j]
+        top = min(max_buckets, u)
+        best = [[float("inf")] * u for _ in range(top + 1)]
+        choice = [[-1] * u for _ in range(top + 1)]
         for j in range(u):
             best[1][j] = cost[0][j]
-        for k in range(2, max_buckets + 1):
+        for k in range(2, top + 1):
             for j in range(k - 1, u):
                 for prev in range(k - 2, j):
                     total = best[k - 1][prev] + cost[prev + 1][j]
                     if total < best[k][j]:
                         best[k][j] = total
                         choice[k][j] = prev
-        buckets = []
-        k, j = max_buckets, u - 1
-        while j >= 0 and k >= 1:
-            buckets.append(unique[j])
-            j = choice[k][j]
-            k -= 1
-        return cls(buckets=tuple(sorted(buckets)), **kwargs)
+        options = []
+        for k in range(1, top + 1):
+            if best[k][u - 1] == float("inf"):
+                continue
+            bounds = []
+            kk, j = k, u - 1
+            while j >= 0 and kk >= 1:
+                bounds.append(j)
+                j = choice[kk][j]
+                kk -= 1
+            bounds.reverse()
+            padded = batches = 0
+            start = 0
+            for j in bounds:
+                n = prefix[j + 1] - prefix[start]
+                padded += n * unique[j]
+                batches += _ceil_div(n, size)
+                start = j + 1
+            options.append(LadderOption(
+                buckets=tuple(unique[j] for j in bounds),
+                padded_tokens=padded, batches=batches,
+                served_slots=int(best[k][u - 1]),
+                fullness=len(lengths) / (batches * size)))
+        return options
+
+    @classmethod
+    def from_observed(cls, lengths, max_buckets: int = 4,
+                      **kwargs) -> "BatchPolicy":
+        """Auto-tune the bucket ladder from an observed request-length
+        distribution.
+
+        Evaluates the best ladder at each bucket count (see
+        :meth:`ladder_options`) and picks the one with the fewest
+        served slots — ties broken toward fewer buckets, then fewer
+        padded tokens — so a handful of observed lengths yields a
+        compact ladder with full batches instead of one near-empty
+        bucket per length.  Remaining ``BatchPolicy`` fields pass
+        through ``kwargs`` (``max_batch_size`` also shapes the slot
+        costs).
+        """
+        options = cls.ladder_options(
+            lengths, max_buckets=max_buckets,
+            max_batch_size=kwargs.get("max_batch_size"))
+        winner = min(options, key=lambda o: (o.served_slots,
+                                             len(o.buckets),
+                                             o.padded_tokens))
+        return cls(buckets=winner.buckets, **kwargs)
 
 
 @dataclass

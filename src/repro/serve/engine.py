@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..hw.backends import PlaneGroupCache
 from .batcher import BatchPolicy, CoalescedBatch, DynamicBatcher, \
     QueuedRequest, coalesce
 from .hardware import HardwareTotals, slice_record
@@ -118,7 +119,14 @@ class ServingStats:
     shed: int = 0
     errors: int = 0
     retries: int = 0
+    # terminal outcomes keyed by REASON_* code — one tick per finished
+    # request/stream, so values sum to ``completed``
+    reasons: dict = field(default_factory=dict)
     hardware: HardwareTotals = field(default_factory=HardwareTotals)
+
+    def record_terminal(self, reason: str) -> None:
+        self.completed += 1
+        self.reasons[reason] = self.reasons.get(reason, 0) + 1
 
     def record_batch(self, size: int) -> None:
         self.batches += 1
@@ -170,6 +178,9 @@ class ServingEngine:
         self.policy = policy or BatchPolicy()
         self._estimate_hw = estimate_hardware
         self._hw_config = hw_config
+        # per-engine pack-once plane cache: decode-step estimates of
+        # the same stream reuse packed key bit-planes across steps
+        self._pack_cache = PlaneGroupCache() if estimate_hardware else None
         self._clock = clock
         self._faults = faults
         self._retries = retries
@@ -333,7 +344,7 @@ class ServingEngine:
                   error: Exception,
                   stream: StreamState | None = None) -> None:
         """Record a typed non-ok terminal result."""
-        self.stats.completed += 1
+        self.stats.record_terminal(reason)
         self._results[request_id] = ServeResult(
             request_id=request_id, kind=kind,
             logits=(stream.last_logits
@@ -573,8 +584,9 @@ class ServingEngine:
                                     int(batch.lengths[i]))
                        for r in records]
                       for i in range(len(requests))]
-            estimates = self.engine.estimate_many(slices,
-                                                  self._hw_config)
+            estimates = self.engine.estimate_many(
+                slices, self._hw_config, pack_cache=self._pack_cache,
+                pack_groups=[r.request_id for r in requests])
         completed = []
         for i, request in enumerate(requests):
             length = int(batch.lengths[i])
@@ -593,7 +605,7 @@ class ServingEngine:
                 request_id=request.request_id, kind="classify",
                 logits=row, prediction=prediction, hardware=estimate,
                 records=sliced, batch_sizes=[len(requests)])
-            self.stats.completed += 1
+            self.stats.record_terminal(REASON_OK)
             completed.append(request.request_id)
         return completed
 
@@ -789,10 +801,12 @@ class ServingEngine:
         estimate = None
         if self._estimate_hw and stream.records_by_layer:
             estimate = self.engine.estimate_from_records(
-                stream.flat_records(), self._hw_config)
+                stream.flat_records(), self._hw_config,
+                pack_cache=self._pack_cache,
+                pack_group=stream.stream_id)
             self.stats.hardware.add(estimate)
         stream.evict()
-        self.stats.completed += 1
+        self.stats.record_terminal(REASON_OK)
         self._results[stream.stream_id] = ServeResult(
             request_id=stream.stream_id, kind="generate",
             logits=(stream.last_logits if stream.last_logits is not None

@@ -388,3 +388,21 @@ class ModelRouter:
     def stats(self) -> dict[str, object]:
         return {name: engine.stats
                 for name, engine in self.engines.items()}
+
+    def stats_summary(self) -> dict[str, dict]:
+        """Health/observability rollup per mounted model: circuit-
+        breaker state, terminal-reason counts (summing to
+        ``completed``), and the reliability counters — the numbers
+        ``python -m repro.serve --stats`` prints."""
+        summary = {}
+        for name, engine in self.engines.items():
+            stats = engine.stats
+            summary[name] = {
+                "health": self.health[name].state,
+                "completed": stats.completed,
+                "reasons": dict(stats.reasons),
+                "errors": stats.errors,
+                "retries": stats.retries,
+                "preemptions": stats.preemptions,
+            }
+        return summary

@@ -16,7 +16,7 @@ from repro.hw import backends
 from repro.hw.bitserial import (bitserial_cycles_matrix,
                                 bitserial_dot_product, serial_cycle_count)
 
-KNOWN_BACKENDS = ("numpy-ref", "numpy-packed", "numba")
+KNOWN_BACKENDS = ("numpy-ref", "numpy-packed", "numba", "torch")
 
 BACKENDS = [
     pytest.param(name, marks=() if name in backends.list_backends()

@@ -193,9 +193,10 @@ def test_async_serve_error_fails_clients_not_runner():
 
 
 def test_batch_policy_from_observed_auto_tunes_buckets():
-    """The tuned ladder pads the observed traffic with no more waste
-    than any same-size hand-picked ladder, always covers the longest
-    request, and short traffic stops paying the full-width tax."""
+    """The tuned ladder serves the observed traffic in no more
+    batch-slots than any hand-picked ladder of the allowed size,
+    always covers the longest request, and a handful of observed
+    lengths yields full batches instead of one bucket per length."""
     from itertools import combinations
 
     import pytest
@@ -208,28 +209,44 @@ def test_batch_policy_from_observed_auto_tunes_buckets():
                               rng.integers(40, 65, size=20)]).tolist()
 
     policy = BatchPolicy.from_observed(lengths, max_buckets=3)
-    assert policy.buckets is not None and len(policy.buckets) == 3
+    assert policy.buckets is not None
     assert policy.buckets[-1] == max(lengths)
 
-    def padded_tokens(buckets):
-        return sum(min(b for b in buckets if b >= n) for n in lengths)
+    size = BatchPolicy.max_batch_size   # the default the tuner assumed
 
-    best = padded_tokens(policy.buckets)
-    unique = sorted(set(lengths))
+    def served_slots(buckets):
+        slots, lower = 0, 0
+        for width in buckets:
+            count = sum(1 for n in lengths if lower < n <= width)
+            slots += -(-count // size) * size * width
+            lower = width
+        return slots
+
+    best = served_slots(policy.buckets)
+    tail = [u for u in sorted(set(lengths)) if u != max(lengths)]
     exhaustive = min(
-        padded_tokens(c + (max(lengths),))
-        for c in combinations([u for u in unique if u != max(lengths)], 2))
+        served_slots(tuple(sorted(c)) + (max(lengths),))
+        for k in range(3) for c in combinations(tail, k))
     assert best <= exhaustive            # the DP is exact
-    # far better than single full-width padding
-    assert best < 0.5 * len(lengths) * max(lengths)
+    # bimodal traffic must beat single full-width padding outright
+    assert best < served_slots((max(lengths),))
 
+    # 3 observed requests at B=8: one near-full batch at width 9
+    # (72 slots) beats a per-length ladder (2 batches, 104 slots)
     few = BatchPolicy.from_observed([4, 4, 9], max_buckets=8)
-    assert few.buckets == (4, 9)         # <= max_buckets unique lengths
+    assert few.buckets == (9,)
+    options = BatchPolicy.ladder_options([4, 4, 9], max_buckets=8)
+    assert [o.buckets for o in options] == [(9,), (4, 9)]
+    assert options[0].served_slots == 72
+    assert options[1].served_slots == 104
+    assert options[1].padded_tokens < options[0].padded_tokens
+    assert options[0].fullness > options[1].fullness
+
     with pytest.raises(ValueError, match="positive lengths"):
         BatchPolicy.from_observed([])
     tuned = BatchPolicy.from_observed(lengths, max_buckets=2,
                                       max_batch_size=16)
-    assert tuned.max_batch_size == 16    # kwargs pass through
+    assert tuned.max_batch_size == 16    # kwargs shape the slot costs too
 
 
 def test_stream_queue_fifo_and_discard():
