@@ -29,6 +29,7 @@ from collections import deque
 import numpy as np
 
 from repro.serve import AsyncServingEngine, BatchPolicy, ServingEngine
+from repro.serve.loadgen import TraceSpec, replay_trace
 from repro.serve.__main__ import build_classifier_engine, build_lm_engine
 
 MAX_SEQ = 24   # build_classifier_engine's max_seq_len
@@ -66,14 +67,30 @@ def run_generate(args) -> dict:
     prompt_max = 8
     engine = build_lm_engine(args.seed,
                              max_seq_len=prompt_max + new_tokens)
-    # heterogeneous requests — mixed prompt lengths *and* generation
-    # budgets, like real traffic: streams finish at different times,
-    # which is exactly when round-based chunking leaves decode batches
-    # partially filled and the continuous slot pool stays full
-    requests = [
-        (rng.integers(1, VOCAB, size=int(n)),
-         int(rng.integers(max(2, new_tokens // 2), new_tokens + 1)))
-        for n in rng.integers(2, prompt_max + 1, size=args.streams)]
+    trace_requests = None
+    if args.trace:
+        # seeded trace-driven arrivals (Poisson or bursty MMPP) instead
+        # of the step-locked stagger — the same heterogeneous request
+        # mix, but arriving on a realistic timeline
+        trace = TraceSpec(seed=args.seed, requests=args.streams,
+                          process=args.trace, rate=args.trace_rate,
+                          burst_rate=args.trace_rate * 10,
+                          prompt_tokens=(2, prompt_max),
+                          new_tokens=(max(2, new_tokens // 2),
+                                      new_tokens), vocab_size=VOCAB)
+        trace_requests = trace.generate()
+        requests = [(r.tokens, r.max_new_tokens)
+                    for r in trace_requests]
+    else:
+        # heterogeneous requests — mixed prompt lengths *and* generation
+        # budgets, like real traffic: streams finish at different times,
+        # which is exactly when round-based chunking leaves decode
+        # batches partially filled and the continuous slot pool stays
+        # full
+        requests = [
+            (rng.integers(1, VOCAB, size=int(n)),
+             int(rng.integers(max(2, new_tokens // 2), new_tokens + 1)))
+            for n in rng.integers(2, prompt_max + 1, size=args.streams)]
     engine.model.generate(requests[0][0][None, :], 2)    # warm-up
 
     start = time.perf_counter()
@@ -90,17 +107,27 @@ def run_generate(args) -> dict:
                         max_wait=args.max_wait, pad_to=prompt_max),
             continuous=continuous, preempt_after=args.preempt_after)
 
+    def drive(serving) -> float:
+        if trace_requests is not None:
+            return replay_trace(serving, trace_requests,
+                                clock=time.monotonic).duration
+        return drive_streams(serving, requests, args.stagger)
+
     round_serving = make_serving(False)
-    round_elapsed = drive_streams(round_serving, requests, args.stagger)
+    round_elapsed = drive(round_serving)
     cont_serving = make_serving(True)
-    cont_elapsed = drive_streams(cont_serving, requests, args.stagger)
+    cont_elapsed = drive(cont_serving)
 
     tokens = sum(n for _, n in requests)
     serial_tps = tokens / serial_elapsed
     round_tps = tokens / round_elapsed
     cont_tps = tokens / cont_elapsed
-    arrivals = (f"staggered 1/{args.stagger} steps" if args.stagger
-                else "burst arrivals")
+    if args.trace:
+        arrivals = f"{args.trace} trace @ {args.trace_rate:g} req/s"
+    elif args.stagger:
+        arrivals = f"staggered 1/{args.stagger} steps"
+    else:
+        arrivals = "burst arrivals"
     print(f"generation: {args.streams} concurrent streams x "
           f"{new_tokens} new tokens ({arrivals}, "
           f"{max_batch} decode slots)")
@@ -198,6 +225,13 @@ def main(argv=None) -> int:
     parser.add_argument("--stagger", type=int, default=0,
                         help="generate mode: one stream arrives every "
                              "K engine steps (0 = burst)")
+    parser.add_argument("--trace", choices=["poisson", "bursty"],
+                        default=None,
+                        help="generate mode: seeded trace-driven "
+                             "arrivals instead of --stagger")
+    parser.add_argument("--trace-rate", type=float, default=500.0,
+                        help="calm-state arrival rate for --trace "
+                             "(bursty traces burst at 10x)")
     parser.add_argument("--preempt-after", type=int, default=None,
                         help="generate mode: continuous-scheduler "
                              "preemption time slice")

@@ -2,13 +2,15 @@
 experiments, reporting, artifacts."""
 
 from . import experiments, reporting
-from .artifacts import record_bench, save_experiment, save_sweep_report
+from .artifacts import (diff_bench, load_bench, record_bench,
+                        save_experiment, save_sweep_report)
 from .runner import WorkloadCache, WorkloadResult, run_workload
 from .store import WorkloadStore
 from .workloads import (QUICK, TINY, Scale, WorkloadSpec, get_workload,
                         list_workloads, spec_hash)
 
-__all__ = ["experiments", "reporting", "record_bench", "save_experiment",
+__all__ = ["experiments", "reporting", "record_bench", "load_bench",
+           "diff_bench", "save_experiment",
            "save_sweep_report", "WorkloadCache", "WorkloadResult",
            "run_workload", "WorkloadStore", "SweepReport", "TaskOutcome",
            "run_sweep", "QUICK", "TINY", "Scale", "WorkloadSpec",

@@ -86,6 +86,51 @@ def record_bench(name: str, metrics: dict, context: dict | None = None,
     return path
 
 
+def load_bench(path: str) -> dict:
+    """Read a ``BENCH_<name>.json`` artifact back, validating its
+    schema version; the counterpart to :func:`record_bench` for the
+    ablation/regression tooling."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    schema = payload.get("schema")
+    if schema != _BENCH_SCHEMA:
+        raise ValueError(f"{path}: unsupported bench schema {schema!r} "
+                         f"(expected {_BENCH_SCHEMA})")
+    if not isinstance(payload.get("runs"), list):
+        raise ValueError(f"{path}: malformed bench artifact (no runs)")
+    return payload
+
+
+def diff_bench(baseline: dict, candidate: dict,
+               run: int = -1) -> dict[str, dict]:
+    """Compare one run of two bench artifacts metric by metric.
+
+    Returns ``{metric: {"baseline": x, "candidate": y, "delta": y-x,
+    "ratio": y/x}}`` over the union of numeric metrics (``delta`` /
+    ``ratio`` are None when a side is missing or non-numeric) —
+    the building block for A/B ablation reports over CI artifacts.
+    ``run`` selects which accumulated run to compare (default: last).
+    """
+    sides = []
+    for payload in (baseline, candidate):
+        runs = payload["runs"]
+        if not runs:
+            raise ValueError(f"bench {payload.get('name')!r} has no runs")
+        sides.append(runs[run]["metrics"])
+    base, cand = sides
+    diff: dict[str, dict] = {}
+    for metric in sorted(set(base) | set(cand)):
+        a, b = base.get(metric), cand.get(metric)
+        numeric = all(isinstance(v, (int, float))
+                      and not isinstance(v, bool) for v in (a, b))
+        diff[metric] = {
+            "baseline": a, "candidate": b,
+            "delta": (b - a) if numeric else None,
+            "ratio": (b / a) if numeric and a else None,
+        }
+    return diff
+
+
 def save_sweep_report(report, directory: str) -> str:
     """Write ``sweep.json`` (per-task status, timings and metrics of a
     :class:`~repro.eval.sweep.SweepReport`); returns the path."""

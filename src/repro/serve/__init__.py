@@ -2,24 +2,29 @@
 per-stream KV caches in front of ``PrunedInferenceEngine``; stream
 scheduling is round-based or continuous (``continuous=True``),
 ``ModelRouter`` fronts several engines behind one queue discipline
-with health-checked routing, and the reliability layer adds
+with health-checked routing, ``WorkerTier`` scales one model across
+shared-nothing engine replicas, and the reliability layer adds
 deadlines/cancellation, typed terminal reason codes, admission
-control, and deterministic fault injection (``FaultPlan``)."""
+control (token backlog + TTFT/TBT SLO prediction), and deterministic
+fault injection (``FaultPlan``).  ``repro.serve.loadgen`` drives it
+all with seeded, replayable traces and percentile SLO reports."""
 
 from .aio import AsyncServingEngine
 from .batcher import BatchPolicy, CoalescedBatch, DynamicBatcher, \
     LadderOption, QueuedRequest, coalesce
 from .engine import (DeadlineExceeded, REASON_CANCELLED, REASON_DEADLINE,
                      REASON_ERROR, REASON_OK, REASON_SHED,
-                     RequestCancelled, ServeResult, ServingEngine,
-                     ServingStats, ShedOverload)
+                     RequestCancelled, RequestTiming, ServeResult,
+                     ServingEngine, ServingStats, ShedOverload)
 from .faults import Fault, FaultPlan, InjectedKernelError
 from .hardware import HardwareTotals, slice_record
 from .health import EngineHealth, HealthPolicy
 from .router import (EngineQuarantined, ModelRouter, UnknownModelError)
-from .scheduler import SchedulerConfig, StepPlan, StepPlanner
+from .scheduler import SchedulerConfig, SLOAdmission, StepPlan, \
+    StepPlanner
 from .streams import KVSlotBuffer, StreamState, stack_caches, \
     unstack_caches
+from .workers import WorkerTier
 
 __all__ = ["AsyncServingEngine", "BatchPolicy", "CoalescedBatch",
            "DynamicBatcher", "LadderOption", "QueuedRequest", "coalesce",
@@ -34,4 +39,20 @@ __all__ = ["AsyncServingEngine", "BatchPolicy", "CoalescedBatch",
            "REASON_ERROR", "REASON_SHED",
            "Fault", "FaultPlan", "InjectedKernelError",
            "EngineHealth", "HealthPolicy",
-           "EngineQuarantined", "UnknownModelError"]
+           "EngineQuarantined", "UnknownModelError",
+           # load generation & SLOs
+           "RequestTiming", "SLOAdmission", "WorkerTier",
+           "TraceSpec", "TraceRequest", "VirtualClock", "replay_trace",
+           "LoadReport", "RequestOutcome"]
+
+_LOADGEN_EXPORTS = {"TraceSpec", "TraceRequest", "VirtualClock",
+                    "replay_trace", "LoadReport", "RequestOutcome"}
+
+
+def __getattr__(name):
+    # lazy so `python -m repro.serve.loadgen` doesn't double-import the
+    # loadgen module (sys.modules RuntimeWarning)
+    if name in _LOADGEN_EXPORTS:
+        from . import loadgen
+        return getattr(loadgen, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -164,6 +164,39 @@ def generate_demo(args, engine: PrunedInferenceEngine,
         print_reason_stats("lm", stats)
 
 
+def tier_demo(args, directory: str, hw_config) -> None:
+    from .workers import WorkerTier
+
+    print(f"== shared-nothing worker tier ({args.replicas} replicas, "
+          "least-loaded routing) ==")
+    tier = WorkerTier.from_snapshot(
+        directory, replicas=args.replicas,
+        policy=BatchPolicy(max_batch_size=args.max_batch_size,
+                           max_wait=args.max_wait),
+        estimate_hardware=True, hw_config=hw_config,
+        continuous=args.continuous, preempt_after=args.preempt_after)
+    config = tier.workers[0].engine.model.config
+    rng = np.random.default_rng(args.seed)
+    prompt_cap = max(2, min(9, config.max_seq_len // 2))
+    ids = [tier.open_stream(
+               rng.integers(1, config.vocab_size, size=int(length)),
+               max_new_tokens=args.new_tokens)
+           for length in rng.integers(1, prompt_cap, size=args.streams)]
+    tier.drain()
+    for stream_id in ids:
+        result = tier.finish(stream_id)
+        hw = result.hardware
+        print(f"  stream {stream_id}: {len(result.tokens)} tokens  "
+              f"{hw.runtime_ns:8.1f} ns "
+              f"({hw.speedup_vs_baseline:.2f}x, kernel "
+              f"{hw.kernel_backend})")
+    for name, summary in tier.stats_summary().items():
+        print(f"  -> {name}: {summary['completed']} served, "
+              f"{summary['outstanding_tokens']} tokens outstanding")
+        if args.stats:
+            print_reason_stats(name, tier.engines[name].stats)
+
+
 def router_demo(args, engines: dict[str, PrunedInferenceEngine],
                 hw_config) -> None:
     print(f"== multi-model router ({len(engines)} engines, shared "
@@ -253,6 +286,12 @@ def main(argv=None) -> None:
                              "at one mounted model (a typo exits with "
                              "the router's unknown-model error instead "
                              "of a traceback)")
+    parser.add_argument("--replicas", type=int, default=1,
+                        metavar="N",
+                        help="serve generation traffic through a "
+                             "shared-nothing WorkerTier of N engine "
+                             "replicas (each rebuilt from the same "
+                             "snapshot) instead of one engine")
     parser.add_argument("--stats", action="store_true",
                         help="print per-engine terminal-reason counters "
                              "(and circuit-breaker states under the "
@@ -272,6 +311,23 @@ def main(argv=None) -> None:
     if args.model is not None and len(args.engine_dir or []) < 2:
         parser.error("--model routes within a multi-model router; mount "
                      "at least two --engine-dir snapshots")
+    if args.replicas < 1:
+        parser.error("--replicas must be >= 1")
+    if args.replicas > 1:
+        if len(args.engine_dir or []) > 1:
+            parser.error("--replicas scales one snapshot; mount at most "
+                         "one --engine-dir")
+        import tempfile
+        with tempfile.TemporaryDirectory() as scratch:
+            if args.engine_dir:
+                directory = args.engine_dir[0].rpartition("=")[2] \
+                    or args.engine_dir[0]
+                load_engine(directory)   # validate before replication
+            else:
+                directory = scratch
+                build_lm_engine(args.seed).save(directory)
+            tier_demo(args, directory, hw_config)
+        return
 
     if args.engine_dir:
         engines: dict[str, PrunedInferenceEngine] = {}

@@ -5,10 +5,12 @@ the arrival queue and steps the core whenever a batch fills or the
 oldest request's ``max_wait`` deadline passes — so requests from
 independent coroutines coalesce into shared batches.
 
-The core may be a single :class:`~repro.serve.engine.ServingEngine`
-or a :class:`~repro.serve.router.ModelRouter` — both expose the same
+The core may be a single :class:`~repro.serve.engine.ServingEngine`,
+a :class:`~repro.serve.router.ModelRouter`, or a
+:class:`~repro.serve.workers.WorkerTier` — all expose the same
 submit/step/finish surface; with a router, ``submit(..., model=...)``
-routes each awaiting client to its model while every model's queue is
+routes each awaiting client to its model, and with a worker tier each
+request lands on the least-loaded replica, while every queue is
 driven by the one runner task.
 """
 

@@ -263,6 +263,14 @@ class DynamicBatcher:
             out.append(self._streams.popleft())
         return out
 
+    def peek_streams(self, limit: int | None = None) -> list:
+        """The first ``limit`` waiting streams in FIFO order, without
+        dequeuing them — the token-budget planner prices the queue head
+        before deciding how many streams this step can afford."""
+        if limit is None:
+            limit = len(self._streams)
+        return [stream for stream, _ in zip(self._streams, range(limit))]
+
     def discard_stream(self, stream_id: int) -> bool:
         """Drop a waiting stream (client hung up before admission)."""
         for stream in self._streams:

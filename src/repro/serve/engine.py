@@ -44,7 +44,7 @@ from ..hw.backends import PlaneGroupCache
 from .batcher import BatchPolicy, CoalescedBatch, DynamicBatcher, \
     QueuedRequest, coalesce
 from .hardware import HardwareTotals, slice_record
-from .scheduler import SchedulerConfig, StepPlanner
+from .scheduler import SchedulerConfig, SLOAdmission, StepPlanner
 from .streams import KVSlotBuffer, StreamState, stack_caches, \
     unstack_caches
 
@@ -71,6 +71,38 @@ class ShedOverload(RuntimeError):
     into certain deadline collapse)."""
 
 
+@dataclass(frozen=True)
+class RequestTiming:
+    """Engine-clock latency marks for one served request.
+
+    All values come from the engine's injected clock, so a virtual
+    clock makes them exactly replayable.  ``first_token`` is the TTFT
+    mark (for classify requests it equals ``finished``);
+    ``token_times`` holds one stamp per emitted token for generation
+    streams, so time-between-tokens is just the consecutive diffs."""
+
+    arrival: float
+    finished: float
+    first_token: float | None = None
+    token_times: tuple[float, ...] = ()
+
+    @property
+    def ttft(self) -> float | None:
+        if self.first_token is None:
+            return None
+        return self.first_token - self.arrival
+
+    @property
+    def latency(self) -> float:
+        return self.finished - self.arrival
+
+    @property
+    def tbts(self) -> tuple[float, ...]:
+        """Gaps between consecutive emitted tokens."""
+        return tuple(b - a for a, b in zip(self.token_times,
+                                           self.token_times[1:]))
+
+
 @dataclass
 class ServeResult:
     """What ``finish`` hands back for one request or stream."""
@@ -86,6 +118,7 @@ class ServeResult:
     batch_sizes: list[int] = field(default_factory=list)
     error: Exception | None = None      # serve-time failure, if any
     reason: str = REASON_OK             # REASON_* terminal code
+    timing: RequestTiming | None = None  # latency marks (engine clock)
 
     @property
     def ok(self) -> bool:
@@ -155,12 +188,18 @@ class ServingEngine:
                  slots: int | None = None, faults=None,
                  retries: int = 0, retry_backoff: float = 0.0,
                  max_backlog_tokens: int | None = None,
+                 step_token_budget: int | None = None,
+                 slo: SLOAdmission | None = None,
                  sleep=time.sleep):
         """``continuous=True`` swaps the round-based stream loop for
         the step-planned continuous scheduler: ``slots`` decode slots
         (default ``max_batch_size``), preempting streams that ran
         ``preempt_after`` decode steps once ``pressure`` streams wait
         beyond the free slots (``None`` disables preemption).
+        ``step_token_budget`` adds vLLM-style token-budget planning on
+        top: each step's admissions are throttled so resident decode
+        tokens plus admitted streams' chunked-prefill tokens fit the
+        budget (continuous scheduler only).
 
         Reliability knobs: ``faults`` injects a seeded
         :class:`~repro.serve.faults.FaultPlan` into the forward/step
@@ -169,7 +208,11 @@ class ServingEngine:
         doubling — forwards are pure functions of their inputs, so a
         retry that succeeds is bit-identical to never having failed);
         ``max_backlog_tokens`` fast-rejects new work with
-        ``shed_overload`` once the queued token backlog exceeds it."""
+        ``shed_overload`` once the queued token backlog exceeds it;
+        ``slo`` (an :class:`~repro.serve.scheduler.SLOAdmission`) sheds
+        new work whose TTFT/TBT target is already unattainable given
+        the current backlog, with the same typed ``shed_overload``
+        result."""
         if retries < 0:
             raise ValueError("retries must be >= 0")
         if max_backlog_tokens is not None and max_backlog_tokens < 1:
@@ -210,7 +253,11 @@ class ServingEngine:
         self._planner = StepPlanner(SchedulerConfig(
             max_slots=slots or self.policy.max_batch_size,
             preempt_after=preempt_after,
-            pressure=pressure)) if continuous else None
+            pressure=pressure,
+            step_token_budget=step_token_budget)) if continuous else None
+        self._step_token_budget = step_token_budget
+        self._slo = slo
+        self._now = self._clock()        # engine time of the latest step
         self._slots: KVSlotBuffer | None = None   # built on first admit
         self._streams: dict[int, StreamState] = {}
         self._results: dict[int, ServeResult] = {}
@@ -238,21 +285,42 @@ class ServingEngine:
         return deadline
 
     def _admit(self, tokens: int, request_id: int, kind: str) -> bool:
-        """Bounded-queue admission control: False fast-rejects the
-        request with a terminal ``shed_overload`` result instead of
-        letting the backlog (and everyone's latency) grow without
-        bound."""
-        if self._max_backlog is None:
-            return True
+        """Admission control: False fast-rejects the request with a
+        terminal ``shed_overload`` result instead of letting the
+        backlog (and everyone's latency) grow without bound — either
+        because the token backlog exceeds ``max_backlog_tokens`` or
+        because the SLO policy predicts the request's TTFT/TBT target
+        is already unattainable behind the current backlog."""
         backlog = self._batcher.backlog_tokens()
-        if backlog + tokens <= self._max_backlog:
-            return True
-        self._terminal(request_id, kind, REASON_SHED, ShedOverload(
-            f"backlog {backlog} + request {tokens} tokens exceeds "
-            f"max_backlog_tokens={self._max_backlog}"))
+        if (self._max_backlog is not None
+                and backlog + tokens > self._max_backlog):
+            return self._shed(request_id, kind, ShedOverload(
+                f"backlog {backlog} + request {tokens} tokens exceeds "
+                f"max_backlog_tokens={self._max_backlog}"))
+        if self._slo is not None:
+            verdict = self._slo.admit(backlog + tokens,
+                                      self._tokens_per_step(),
+                                      stream=kind == "generate")
+            if verdict is not None:
+                return self._shed(request_id, kind, ShedOverload(verdict))
+        return True
+
+    def _shed(self, request_id: int, kind: str,
+              error: ShedOverload) -> bool:
+        self._terminal(request_id, kind, REASON_SHED, error)
         self.stats.shed += 1
         self._instant.append(request_id)
         return False
+
+    def _tokens_per_step(self) -> int:
+        """Rough per-step token throughput for SLO prediction: the
+        token budget when planning with one, else the decode-slot
+        count."""
+        if self._step_token_budget is not None:
+            return self._step_token_budget
+        if self._planner is not None:
+            return self._planner.config.max_slots
+        return self.policy.max_batch_size
 
     def submit(self, inputs: np.ndarray, mask: np.ndarray | None = None,
                now: float | None = None, deadline: float | None = None,
@@ -339,6 +407,20 @@ class ServingEngine:
     def backlog_tokens(self) -> int:
         return self._batcher.backlog_tokens()
 
+    def outstanding_tokens(self) -> int:
+        """Token work this engine still owes: everything waiting in its
+        queues plus the remaining generation budget of streams already
+        running — the worker tier's least-loaded routing signal."""
+        if self.continuous:
+            live = (self._slots.streams if self._slots is not None
+                    else [])
+        else:                            # round-based: live = has caches
+            live = [s for s in self._streams.values()
+                    if not s.done and s.caches is not None]
+        remaining = sum(max(s.max_new_tokens - s.new_tokens, 0)
+                        for s in live)
+        return self._batcher.backlog_tokens() + remaining
+
     # -- lifecycle: terminal errors, cancellation, deadlines ------------
     def _terminal(self, request_id: int, kind: str, reason: str,
                   error: Exception,
@@ -353,7 +435,16 @@ class ServingEngine:
             tokens=(stream.tokens.copy() if stream is not None else None),
             batch_sizes=(list(stream.batch_sizes)
                          if stream is not None else []),
-            error=error, reason=reason)
+            error=error, reason=reason,
+            timing=(self._stream_timing(stream)
+                    if stream is not None else None))
+
+    def _stream_timing(self, stream: StreamState) -> RequestTiming:
+        return RequestTiming(
+            arrival=stream.arrival, finished=self._now,
+            first_token=(stream.token_times[0]
+                         if stream.token_times else None),
+            token_times=tuple(stream.token_times))
 
     def _terminate_stream(self, stream: StreamState, reason: str,
                           error: Exception) -> None:
@@ -376,6 +467,7 @@ class ServingEngine:
         engine never issued."""
         if request_id in self._results:
             return False
+        self._now = self._clock()
         stream = self._streams.get(request_id)
         if stream is not None:
             if stream.done:
@@ -478,19 +570,25 @@ class ServingEngine:
             # so this step (and its deadline checks) observe the delay
             self._faults.latency_check()
         now = self._clock() if now is None else now
+        self._now = now
         self.last_step_errors = 0
         completed = self._drain_instant()
         completed += self._shed_expired(now)
         while self._batcher.ready(now):
             completed += self._serve_classify(*self._batcher.pop(now))
         completed += self._stream_step(budget)
+        if self._slo is not None:
+            # refine the SLO model's step-time estimate from the wall
+            # duration this step actually took (no-op on virtual clocks)
+            self._slo.observe_step(self._clock() - now)
         return completed
 
     def flush(self) -> list[int]:
         """Serve the waiting classification queue immediately,
         ignoring ``max_wait``."""
+        self._now = self._clock()
         completed = self._drain_instant()
-        completed += self._shed_expired(self._clock())
+        completed += self._shed_expired(self._now)
         while len(self._batcher):
             completed += self._serve_classify(*self._batcher.pop())
         return completed
@@ -499,6 +597,7 @@ class ServingEngine:
         """Run everything pending to completion (demo / test helper)."""
         completed = self.flush()
         while any(not s.done for s in self._streams.values()):
+            self._now = self._clock()
             completed += self._stream_step(None)
         return completed
 
@@ -604,7 +703,10 @@ class ServingEngine:
             self._results[request.request_id] = ServeResult(
                 request_id=request.request_id, kind="classify",
                 logits=row, prediction=prediction, hardware=estimate,
-                records=sliced, batch_sizes=[len(requests)])
+                records=sliced, batch_sizes=[len(requests)],
+                timing=RequestTiming(arrival=request.arrival,
+                                     finished=self._now,
+                                     first_token=self._now))
             self.stats.record_terminal(REASON_OK)
             completed.append(request.request_id)
         return completed
@@ -674,8 +776,15 @@ class ServingEngine:
                 and (self._slots is None or not len(self._slots))):
             return []                   # idle: don't even allocate KV
         slots = self._slot_buffer()
+        # price the waiting-queue head for the token-budget planner: a
+        # fresh stream charges its whole prompt (chunked prefill) plus
+        # its decode token; a swapped-out resumer just decodes
+        waiting_tokens = [1 if s.swapped else s.length + 1
+                          for s in self._batcher.peek_streams(
+                              self._planner.config.max_slots)]
         plan = self._planner.plan(slots.streams,
-                                  self._batcher.stream_count(), budget)
+                                  self._batcher.stream_count(), budget,
+                                  waiting_tokens=waiting_tokens)
         for stream in plan.preempt:
             slots.swap_out(stream)
             self._batcher.add_stream(stream)
@@ -733,6 +842,7 @@ class ServingEngine:
                     [slice_record(r, i, size, size) for r in records])
             stream.batch_sizes.append(len(streams))
             stream.append(int(logits[i].argmax()))
+            stream.token_times.append(self._now)
             stream.last_logits = logits[i].copy()
             if self._stream_exhausted(stream):
                 self._finalize_stream(stream)
@@ -773,6 +883,7 @@ class ServingEngine:
             stream.batch_sizes.append(len(chunk))
             stream.steps_since_admit += 1
             stream.append(int(logits[i].argmax()))
+            stream.token_times.append(self._now)
             stream.last_logits = logits[i].copy()
             if self._stream_exhausted(stream):
                 self._finalize_stream(stream)
@@ -814,4 +925,5 @@ class ServingEngine:
             tokens=stream.tokens.copy(), hardware=estimate,
             records=(stream.flat_records()
                      if stream.records_by_layer else None),
-            batch_sizes=list(stream.batch_sizes))
+            batch_sizes=list(stream.batch_sizes),
+            timing=self._stream_timing(stream))

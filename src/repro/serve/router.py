@@ -403,6 +403,7 @@ class ModelRouter:
                 "reasons": dict(stats.reasons),
                 "errors": stats.errors,
                 "retries": stats.retries,
+                "shed": stats.shed,
                 "preemptions": stats.preemptions,
             }
         return summary

@@ -41,11 +41,18 @@ class SchedulerConfig:
     pressured before it is swapped out; ``None`` disables preemption.
     ``pressure``: how many streams must be waiting (beyond the free
     slots that would absorb them) before preemption kicks in.
+    ``step_token_budget``: vLLM-style per-step token budget.  Every
+    surviving resident costs one decode token, and an admitted *fresh*
+    stream additionally charges its whole prompt (the chunked-prefill
+    work piggybacked into the step), so admissions are throttled by the
+    tokens a step will actually push through the model — not just by
+    free decode slots.  ``None`` keeps the slots-only discipline.
     """
 
     max_slots: int
     preempt_after: int | None = None
     pressure: int = 1
+    step_token_budget: int | None = None
 
     def __post_init__(self):
         if self.max_slots < 1:
@@ -54,6 +61,8 @@ class SchedulerConfig:
             raise ValueError("preempt_after must be >= 1 (or None)")
         if self.pressure < 1:
             raise ValueError("pressure must be >= 1")
+        if self.step_token_budget is not None and self.step_token_budget < 1:
+            raise ValueError("step_token_budget must be >= 1 (or None)")
 
 
 @dataclass
@@ -63,6 +72,7 @@ class StepPlan:
     preempt: list[StreamState] = field(default_factory=list)
     admit_slots: int = 0                 # waiting streams to pull in
     budget: int = 0                      # decode rows allowed this step
+    step_tokens: int = 0                 # decode + prefill tokens planned
 
     @property
     def idle(self) -> bool:
@@ -76,13 +86,18 @@ class StepPlanner:
         self.config = config
 
     def plan(self, running: list[StreamState], waiting: int,
-             budget: int | None = None) -> StepPlan:
+             budget: int | None = None,
+             waiting_tokens: list[int] | None = None) -> StepPlan:
         """Decide preemptions and admissions for this step.
 
         ``running``: streams currently holding slots; ``waiting``: how
         many streams sit in the admission queue; ``budget``: slots this
         step may use (a router sharing its step budget across engines
         passes a smaller number; default: ``max_slots``).
+        ``waiting_tokens``: per-stream step cost of the waiting queue's
+        head, FIFO order — prompt length + 1 for a fresh stream (its
+        chunked prefill rides this step), 1 for a swapped-out resumer.
+        Only consulted under a ``step_token_budget``.
         """
         slots = self.config.max_slots
         if budget is not None:
@@ -112,7 +127,37 @@ class StepPlanner:
 
         plan.preempt = victims
         plan.admit_slots = max(0, min(free, waiting))
+        # every surviving resident decodes one token this step
+        plan.step_tokens = len(running) - len(victims)
+        plan.admit_slots, admit_tokens = self._token_budget_cap(
+            plan.admit_slots, plan.step_tokens, waiting_tokens)
+        plan.step_tokens += admit_tokens
         return plan
+
+    def _token_budget_cap(self, admit_slots: int, decode_tokens: int,
+                          waiting_tokens: list[int] | None
+                          ) -> tuple[int, int]:
+        """Shrink the slot-based admission count so the step's total
+        token work (resident decode + admitted streams' prefill/decode
+        tokens) fits ``step_token_budget``.  Admission is strictly FIFO
+        — the first waiting stream that does not fit stops the scan, so
+        a long prompt is never starved by later short ones.  When
+        nothing is running and nothing fits, one stream is still
+        admitted (a prompt longer than the budget must make progress).
+        Returns (admissions, their token cost)."""
+        budget = self.config.step_token_budget
+        if budget is None or waiting_tokens is None or admit_slots == 0:
+            return admit_slots, 0
+        admitted = used = 0
+        for cost in waiting_tokens[:admit_slots]:
+            if decode_tokens + used + cost > budget:
+                break
+            admitted += 1
+            used += cost
+        if admitted == 0 and decode_tokens == 0 and waiting_tokens:
+            # progress floor: an idle engine always takes one stream
+            admitted, used = 1, waiting_tokens[0]
+        return admitted, used
 
     @staticmethod
     def _longest_running(streams: list[StreamState],
@@ -122,3 +167,74 @@ class StepPlanner:
         ranked = sorted(streams,
                         key=lambda s: (-s.steps_since_admit, s.stream_id))
         return ranked[:count]
+
+
+@dataclass
+class SLOAdmission:
+    """SLO-aware admission control: shed work whose latency target is
+    already unattainable at submission time.
+
+    The model is deliberately simple and deterministic: an engine
+    pushes about ``tokens_per_step`` tokens through the model per
+    scheduler step, and one step takes ``step_time`` seconds (a fixed
+    estimate by default; :meth:`observe_step` lets the serving engine
+    refine it with an EWMA over measured step durations).  A new
+    request's best-case time-to-first-token is then
+
+        ``(backlog_tokens / tokens_per_step + 1) * step_time``
+
+    — the steps needed to drain the work already queued ahead of it,
+    plus the step that serves its own prefill.  If that exceeds
+    ``ttft_target`` the request is shed *now* with a typed
+    ``shed_overload`` result instead of queueing into a certain SLO
+    miss (fail fast keeps the clients that can still be served inside
+    their targets).  ``tbt_target`` below the per-step time is
+    unattainable for any stream (decode emits one token per step), so
+    it sheds streams regardless of load.
+    """
+
+    ttft_target: float | None = None   # seconds; None = no TTFT gate
+    tbt_target: float | None = None    # seconds; None = no TBT gate
+    step_time: float = 1e-3            # estimated seconds per step
+    smoothing: float = 0.25            # EWMA weight for observed steps
+
+    def __post_init__(self):
+        if self.ttft_target is not None and self.ttft_target <= 0:
+            raise ValueError("ttft_target must be > 0 (or None)")
+        if self.tbt_target is not None and self.tbt_target <= 0:
+            raise ValueError("tbt_target must be > 0 (or None)")
+        if self.step_time <= 0:
+            raise ValueError("step_time must be > 0")
+        if not 0 < self.smoothing <= 1:
+            raise ValueError("smoothing must be in (0, 1]")
+
+    def observe_step(self, duration: float) -> None:
+        """Fold one measured step duration into the estimate (zero
+        durations — virtual clocks — leave it untouched, so tests stay
+        deterministic)."""
+        if duration > 0:
+            self.step_time = ((1 - self.smoothing) * self.step_time
+                              + self.smoothing * duration)
+
+    def predicted_ttft(self, backlog_tokens: int,
+                       tokens_per_step: int) -> float:
+        steps = backlog_tokens / max(tokens_per_step, 1)
+        return (steps + 1.0) * self.step_time
+
+    def admit(self, backlog_tokens: int, tokens_per_step: int,
+              stream: bool = True) -> str | None:
+        """None to admit, or a human-readable shed reason when the
+        targets are unattainable for work queued behind
+        ``backlog_tokens`` tokens."""
+        if (stream and self.tbt_target is not None
+                and self.step_time > self.tbt_target):
+            return (f"TBT SLO {self.tbt_target:.4f}s unattainable: one "
+                    f"step takes ~{self.step_time:.4f}s")
+        if self.ttft_target is not None:
+            predicted = self.predicted_ttft(backlog_tokens,
+                                            tokens_per_step)
+            if predicted > self.ttft_target:
+                return (f"TTFT SLO {self.ttft_target:.4f}s unattainable:"
+                        f" ~{predicted:.4f}s predicted behind "
+                        f"{backlog_tokens} backlog tokens")
+        return None

@@ -45,6 +45,10 @@ class StreamState:
     steps_since_admit: int = 0
     preemptions: int = 0
     last_logits: np.ndarray | None = None
+    # engine-clock timestamp of every emitted token (first entry is the
+    # prefill's token — the TTFT mark); the load generator reads these
+    # off the terminal result to compute TTFT/TBT percentiles
+    token_times: list[float] = field(default_factory=list)
     # layer-major record accumulation mirrors the solo collection order
     # (all of layer 0's steps, then layer 1's, ...), so per-stream
     # hardware estimates see jobs in the same order as a solo run

@@ -1,0 +1,205 @@
+"""Shared-nothing multi-worker serving tier.
+
+``WorkerTier`` scales the serving stack past one engine: N replica
+workers, each wrapping its *own* :class:`~repro.core
+.PrunedInferenceEngine` (typically rebuilt independently from the same
+saved snapshot via :meth:`from_snapshot`), behind the familiar
+submit / open_stream / step / finish surface.  Nothing is shared
+between workers — no KV buffers, no queues, no model state — so a
+replica failing, preempting, or shedding never perturbs its siblings,
+and the tier composes directly with the asyncio front door
+(:class:`~repro.serve.aio.AsyncServingEngine`) the way a
+:class:`~repro.serve.router.ModelRouter` does.
+
+Routing is deterministic least-loaded: each new request goes to the
+worker owing the fewest :meth:`~repro.serve.engine.ServingEngine
+.outstanding_tokens` (queued backlog plus the remaining generation
+budget of running streams), with the lowest-index worker breaking
+ties.  Because every worker pads and batches exactly like a solo
+engine, placement is bit-invisible: a request's outputs, masks, and
+hardware estimates are identical no matter which replica serves it —
+the invariant the trace-replay tests in ``tests/test_loadgen.py`` pin.
+
+Request ids are tier-global; per-worker SLO admission / token-budget
+planning / fault injection arrive via the ``**engine_kwargs`` passed
+through to each :class:`~repro.serve.engine.ServingEngine`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .batcher import BatchPolicy
+from .engine import ServeResult, ServingEngine
+
+
+class WorkerTier:
+    """N shared-nothing engine replicas behind one front door."""
+
+    def __init__(self, workers: list[ServingEngine],
+                 clock=time.monotonic):
+        if not workers:
+            raise ValueError("WorkerTier needs at least one worker")
+        self.workers = list(workers)
+        self._clock = clock
+        # aio front-door compatibility: the runner's stream-pending
+        # probe iterates ``engines.values()`` for router-like cores
+        self.engines = {f"worker{i}": worker
+                        for i, worker in enumerate(self.workers)}
+        self._routes: dict[int, tuple[int, int]] = {}
+        self._next_id = 0
+
+    @classmethod
+    def from_snapshot(cls, directory: str, replicas: int,
+                      policy: BatchPolicy | None = None,
+                      clock=time.monotonic,
+                      **engine_kwargs) -> "WorkerTier":
+        """Build a tier of ``replicas`` workers, each rebuilding its own
+        :class:`~repro.core.PrunedInferenceEngine` from the saved
+        snapshot at ``directory`` — shared-nothing by construction
+        (independent weights arrays, caches, and queues).
+        ``engine_kwargs`` (``continuous=``, ``step_token_budget=``,
+        ``slo=``, ``estimate_hardware=``, ...) configure every worker's
+        :class:`~repro.serve.engine.ServingEngine` identically; pass a
+        fresh :class:`~repro.serve.scheduler.SLOAdmission` per tier, it
+        is copied per worker so EWMA refinement stays per-replica."""
+        from dataclasses import replace
+
+        from ..core import PrunedInferenceEngine
+
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        slo = engine_kwargs.pop("slo", None)
+        workers = []
+        for _ in range(replicas):
+            core = PrunedInferenceEngine.from_directory(directory)
+            workers.append(ServingEngine(
+                core, policy=policy, clock=clock,
+                slo=replace(slo) if slo is not None else None,
+                **engine_kwargs))
+        return cls(workers, clock=clock)
+
+    # -- routing --------------------------------------------------------
+    def pick_worker(self) -> int:
+        """Deterministic least-loaded routing: the worker owing the
+        fewest outstanding tokens, lowest index breaking ties."""
+        loads = [worker.outstanding_tokens() for worker in self.workers]
+        return min(range(len(loads)), key=lambda i: (loads[i], i))
+
+    def _track(self, worker: int, inner_id: int) -> int:
+        tier_id = self._next_id
+        self._next_id += 1
+        self._routes[tier_id] = (worker, inner_id)
+        return tier_id
+
+    def submit(self, inputs: np.ndarray, mask: np.ndarray | None = None,
+               now: float | None = None, deadline: float | None = None,
+               ttl: float | None = None) -> int:
+        now = self._clock() if now is None else now
+        worker = self.pick_worker()
+        return self._track(worker, self.workers[worker].submit(
+            inputs, mask, now=now, deadline=deadline, ttl=ttl))
+
+    def open_stream(self, prompt: np.ndarray, max_new_tokens: int,
+                    now: float | None = None,
+                    deadline: float | None = None,
+                    ttl: float | None = None) -> int:
+        now = self._clock() if now is None else now
+        worker = self.pick_worker()
+        return self._track(worker, self.workers[worker].open_stream(
+            prompt, max_new_tokens, now=now, deadline=deadline, ttl=ttl))
+
+    def cancel(self, request_id: int) -> bool:
+        route = self._routes.get(request_id)
+        if route is None:
+            raise KeyError(f"unknown request {request_id}")
+        worker, inner = route
+        return self.workers[worker].cancel(inner)
+
+    # -- queue introspection (same surface as ServingEngine) ------------
+    def next_deadline(self) -> float | None:
+        deadlines = [d for worker in self.workers
+                     if (d := worker.next_deadline()) is not None]
+        return min(deadlines) if deadlines else None
+
+    def queue_ready(self, now: float) -> bool:
+        return any(worker.queue_ready(now) for worker in self.workers)
+
+    def has_pending(self) -> bool:
+        return any(worker.has_pending() for worker in self.workers)
+
+    def kv_slots_in_use(self) -> int:
+        return sum(worker.kv_slots_in_use() for worker in self.workers)
+
+    def outstanding_tokens(self) -> int:
+        return sum(worker.outstanding_tokens()
+                   for worker in self.workers)
+
+    # -- advancing ------------------------------------------------------
+    def step(self, now: float | None = None) -> list[int]:
+        """Advance every worker one step; returns tier-global ids
+        completed this step (worker order, so completions are
+        deterministic under a shared virtual clock)."""
+        now = self._clock() if now is None else now
+        completed: list[int] = []
+        for index, worker in enumerate(self.workers):
+            completed += self._completed_ids(index, worker.step(now))
+        return completed
+
+    def flush(self) -> list[int]:
+        completed: list[int] = []
+        for index, worker in enumerate(self.workers):
+            completed += self._completed_ids(index, worker.flush())
+        return completed
+
+    def drain(self) -> list[int]:
+        completed = self.flush()
+        while self.has_pending():
+            completed += self.step()
+        return completed
+
+    def _completed_ids(self, worker: int,
+                       inner_ids: list[int]) -> list[int]:
+        by_inner = {inner: tid
+                    for tid, (index, inner) in self._routes.items()
+                    if index == worker}
+        return [by_inner[inner] for inner in inner_ids
+                if inner in by_inner]
+
+    # -- completion -----------------------------------------------------
+    def result(self, request_id: int) -> ServeResult | None:
+        route = self._routes.get(request_id)
+        if route is None:
+            return None
+        worker, inner = route
+        return self.workers[worker].result(inner)
+
+    def finish(self, request_id: int) -> ServeResult:
+        route = self._routes.get(request_id)
+        if route is None:
+            raise KeyError(f"unknown request {request_id}")
+        worker, inner = route
+        result = self.workers[worker].finish(inner)
+        del self._routes[request_id]
+        return result
+
+    # -- observability --------------------------------------------------
+    @property
+    def stats(self) -> dict[str, object]:
+        return {name: engine.stats
+                for name, engine in self.engines.items()}
+
+    def stats_summary(self) -> dict[str, dict]:
+        """Per-worker rollup mirroring the router's ``--stats`` shape:
+        terminal-reason counts, shed/error tallies, and the load signal
+        the tier routes on."""
+        return {name: {
+            "completed": engine.stats.completed,
+            "reasons": dict(engine.stats.reasons),
+            "shed": engine.stats.shed,
+            "errors": engine.stats.errors,
+            "preemptions": engine.stats.preemptions,
+            "outstanding_tokens": engine.outstanding_tokens(),
+        } for name, engine in self.engines.items()}

@@ -1,0 +1,109 @@
+"""Versioned benchmark artifacts: record_bench / load_bench /
+diff_bench round-trips, the REPRO_BENCH_DIR layout CI relies on, and
+the A/B diff helper the ablation tooling builds on."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.eval import diff_bench, load_bench, record_bench
+from repro.eval.artifacts import BENCH_ENV, _BENCH_SCHEMA
+
+
+def test_record_bench_is_off_without_directory(monkeypatch):
+    monkeypatch.delenv(BENCH_ENV, raising=False)
+    assert record_bench("noop", {"x": 1}) is None
+
+
+def test_record_bench_roundtrip(tmp_path):
+    metrics = {"tok_s": 123.4, "ttft_p99": 0.01, "steps": 7,
+               "reasons": {"ok": 5}, "array": np.arange(3),
+               "np_float": np.float64(2.5)}
+    path = record_bench("unit", metrics, context={"seed": 0},
+                        directory=str(tmp_path))
+    assert os.path.basename(path) == "BENCH_unit.json"
+    payload = load_bench(path)
+    assert payload["schema"] == _BENCH_SCHEMA == 1
+    assert payload["name"] == "unit"
+    run = payload["runs"][-1]
+    assert run["metrics"]["tok_s"] == 123.4
+    assert run["metrics"]["array"] == [0, 1, 2]    # np -> jsonable
+    assert run["metrics"]["np_float"] == 2.5
+    assert run["context"] == {"seed": 0}
+
+
+def test_record_bench_env_layout(tmp_path, monkeypatch):
+    # CI sets REPRO_BENCH_DIR and uploads BENCH_*.json from it
+    monkeypatch.setenv(BENCH_ENV, str(tmp_path / "bench"))
+    path = record_bench("serving_slo", {"tok_s": 1.0})
+    assert path == str(tmp_path / "bench" / "BENCH_serving_slo.json")
+    assert os.path.exists(path)
+
+
+def test_record_bench_accumulates_runs(tmp_path):
+    for step in range(3):
+        path = record_bench("acc", {"step": step},
+                            directory=str(tmp_path))
+    payload = load_bench(path)
+    assert [run["metrics"]["step"] for run in payload["runs"]] == [0, 1, 2]
+
+
+def test_record_bench_recovers_from_corrupt_artifact(tmp_path):
+    path = tmp_path / "BENCH_bad.json"
+    path.write_text("{ not json")
+    out = record_bench("bad", {"x": 1}, directory=str(tmp_path))
+    payload = load_bench(out)
+    assert len(payload["runs"]) == 1          # started fresh, no crash
+
+
+def test_record_bench_discards_unknown_schema(tmp_path):
+    path = tmp_path / "BENCH_old.json"
+    path.write_text(json.dumps({"schema": 0, "name": "old",
+                                "runs": [{"metrics": {}}]}))
+    out = record_bench("old", {"x": 1}, directory=str(tmp_path))
+    payload = load_bench(out)
+    assert payload["schema"] == _BENCH_SCHEMA
+    assert len(payload["runs"]) == 1
+
+
+def test_load_bench_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    path.write_text(json.dumps({"schema": 99, "runs": []}))
+    with pytest.raises(ValueError, match="schema"):
+        load_bench(str(path))
+    path.write_text(json.dumps({"schema": 1, "runs": "nope"}))
+    with pytest.raises(ValueError, match="runs"):
+        load_bench(str(path))
+
+
+def test_diff_bench_deltas_and_ratios(tmp_path):
+    base = load_bench(record_bench(
+        "a", {"tok_s": 100.0, "ttft_p99": 0.02, "only_base": 1,
+              "label": "x", "flag": True}, directory=str(tmp_path)))
+    cand = load_bench(record_bench(
+        "b", {"tok_s": 150.0, "ttft_p99": 0.01, "only_cand": 2,
+              "label": "y", "flag": False}, directory=str(tmp_path)))
+    diff = diff_bench(base, cand)
+    assert diff["tok_s"]["delta"] == pytest.approx(50.0)
+    assert diff["tok_s"]["ratio"] == pytest.approx(1.5)
+    assert diff["ttft_p99"]["ratio"] == pytest.approx(0.5)
+    # missing on one side, or non-numeric (bools excluded): no math
+    assert diff["only_base"]["delta"] is None
+    assert diff["only_cand"]["candidate"] == 2
+    assert diff["label"]["delta"] is None
+    assert diff["flag"]["ratio"] is None
+
+
+def test_diff_bench_selects_run_and_rejects_empty(tmp_path):
+    for tok_s in (1.0, 2.0):
+        path = record_bench("multi", {"tok_s": tok_s},
+                            directory=str(tmp_path))
+    payload = load_bench(path)
+    first = diff_bench(payload, payload, run=0)
+    assert first["tok_s"]["baseline"] == 1.0
+    last = diff_bench(payload, payload)
+    assert last["tok_s"]["baseline"] == 2.0
+    with pytest.raises(ValueError, match="no runs"):
+        diff_bench({"name": "empty", "runs": []}, payload)

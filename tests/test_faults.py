@@ -525,6 +525,65 @@ def test_chaos_soak_generate(continuous, seed):
     assert replay.stats.expired == serving.stats.expired
 
 
+def test_latency_fault_trips_deadline_not_engine_error():
+    """An injected scheduler stall must surface as the *deadline*
+    terminal on TTL'd streams — latency is not an engine failure —
+    while untouched streams finish ok, nothing leaks a KV slot, and
+    the same plan replays the same outcome."""
+    engine = make_lm_engine(0)
+    rng = np.random.default_rng(7)
+    prompts = [rng.integers(1, 40, size=4) for _ in range(3)]
+
+    def run(plan):
+        clock = [0.0]
+        plan.sleeper = lambda seconds: clock.__setitem__(
+            0, clock[0] + seconds)       # injected latency = virtual time
+        serving = ServingEngine(
+            engine, BatchPolicy(max_batch_size=3, max_wait=0.0),
+            estimate_hardware=True, clock=lambda: clock[0],
+            continuous=True, faults=plan, sleep=lambda s: None)
+        doomed = [serving.open_stream(prompts[0], 20, ttl=0.5),
+                  serving.open_stream(prompts[1], 20, ttl=0.5)]
+        survivor = serving.open_stream(prompts[2], 4)
+        while serving.has_pending():
+            clock[0] += 0.01
+            serving.step()
+        return serving, doomed, survivor
+
+    # the second step stalls 1 s — far past the 0.5 s TTLs
+    plan = FaultPlan([Fault(kind="latency", at=1, seconds=1.0)])
+    serving, doomed, survivor = run(plan.reset())
+    assert len(plan.reset().faults) == 1
+
+    doomed_tokens = []
+    for stream_id in doomed:
+        result = serving.result(stream_id)
+        assert result.reason == REASON_DEADLINE      # NOT engine_error
+        doomed_tokens.append(result.tokens)
+        with pytest.raises(DeadlineExceeded):
+            serving.finish(stream_id)
+    assert serving.stats.errors == 0
+    assert serving.stats.expired == 2
+
+    result = serving.finish(survivor)
+    assert result.ok and len(result.tokens) == len(prompts[2]) + 4
+    solo, _ = serve_streams(engine, [prompts[2]], 4, max_batch_size=1)
+    np.testing.assert_array_equal(result.tokens, solo[0].tokens)
+    np.testing.assert_array_equal(result.logits, solo[0].logits)
+    assert_no_leaks(serving)
+
+    # replay: same plan, same chaos, bit-identical outcomes
+    replay, replay_doomed, replay_survivor = run(plan.reset())
+    assert [replay.result(i).reason for i in replay_doomed] \
+        == [REASON_DEADLINE, REASON_DEADLINE]
+    for expected, stream_id in zip(doomed_tokens, replay_doomed):
+        np.testing.assert_array_equal(replay.result(stream_id).tokens,
+                                      expected)
+    assert replay.finish(replay_survivor).ok
+    assert replay.stats.expired == serving.stats.expired
+    assert_no_leaks(replay)
+
+
 @pytest.mark.parametrize("seed", [0, 1])
 def test_chaos_soak_classify(seed):
     engine = make_classifier_engine(seed)

@@ -249,6 +249,54 @@ def test_batch_policy_from_observed_auto_tunes_buckets():
     assert tuned.max_batch_size == 16    # kwargs shape the slot costs too
 
 
+def test_batch_policy_from_observed_matches_brute_force():
+    """Property test: on randomized small length sets the tuner's DP
+    is exact — for every allowed bucket count its ladder serves the
+    traffic in exactly the minimum ``served_slots`` over *all* ladders
+    (brute-force enumeration of every subset of observed lengths with
+    the maximum always included)."""
+    from itertools import combinations
+
+    from repro.serve import BatchPolicy
+
+    def served_slots(buckets, lengths, size):
+        slots, lower = 0, 0
+        for width in buckets:
+            count = sum(1 for n in lengths if lower < n <= width)
+            slots += -(-count // size) * size * width
+            lower = width
+        return slots
+
+    for seed in range(8):
+        rng = np.random.default_rng(seed)
+        lengths = rng.integers(1, 21,
+                               size=int(rng.integers(1, 13))).tolist()
+        max_buckets = int(rng.integers(1, 5))
+        size = int(rng.choice([2, 4, 8]))
+        top = max(lengths)
+        tail = [u for u in sorted(set(lengths)) if u != top]
+
+        best_by_count = {}          # bucket count -> brute-force optimum
+        for k in range(min(max_buckets, len(tail) + 1)):
+            best_by_count[k + 1] = min(
+                served_slots(tuple(sorted(c)) + (top,), lengths, size)
+                for c in combinations(tail, k))
+
+        tuned = BatchPolicy.from_observed(lengths, max_buckets=max_buckets,
+                                          max_batch_size=size)
+        assert served_slots(tuned.buckets, lengths, size) \
+            == min(best_by_count.values()), (seed, lengths, tuned.buckets)
+        assert tuned.buckets[-1] == top
+
+        options = BatchPolicy.ladder_options(lengths,
+                                             max_buckets=max_buckets,
+                                             max_batch_size=size)
+        for option in options:
+            assert option.served_slots \
+                == served_slots(option.buckets, lengths, size)
+            assert option.served_slots == best_by_count[len(option.buckets)]
+
+
 def test_stream_queue_fifo_and_discard():
     """The batcher's stream admission queue pops FIFO by enqueue time
     (planner-driven), and discards waiting streams on early finish."""
