@@ -174,8 +174,8 @@ class PrunedInferenceEngine:
         return self.estimate_from_records(records, config)
 
     def estimate_from_records(self, records, config=None,
-                              pack_cache=None, pack_group=None
-                              ) -> HardwareEstimate:
+                              pack_cache=None, pack_group=None,
+                              profiler=None) -> HardwareEstimate:
         """Simulate captured attention records on the accelerator model
         vs the non-pruning baseline.  Serving uses this directly: the
         batcher slices a coalesced batch's records per request, and each
@@ -183,11 +183,12 @@ class PrunedInferenceEngine:
         groups = None if pack_group is None else [pack_group]
         return self.estimate_many([records], config,
                                   pack_cache=pack_cache,
-                                  pack_groups=groups)[0]
+                                  pack_groups=groups,
+                                  profiler=profiler)[0]
 
     def estimate_many(self, record_groups, config=None,
-                      pack_cache=None, pack_groups=None
-                      ) -> list[HardwareEstimate]:
+                      pack_cache=None, pack_groups=None,
+                      profiler=None) -> list[HardwareEstimate]:
         """Estimate several record groups against one pair of
         simulators.
 
@@ -209,13 +210,16 @@ class PrunedInferenceEngine:
         decode-step estimates reuse packed planes across calls);
         ``pack_groups`` gives each record group a stable cache
         identity (e.g. a stream/request id), defaulting to the group's
-        position in this call."""
+        position in this call; ``profiler`` (a
+        :class:`repro.obs.KernelProfiler`) times the pruning
+        simulator's fused kernel dispatches."""
         from ..hw import (AE_LEOPARD, EnergyModel, TileSimulator,
                           baseline_like)
         from ..hw.workload import jobs_from_records
 
         config = config or AE_LEOPARD
-        simulator = TileSimulator(config, pack_cache=pack_cache)
+        simulator = TileSimulator(config, pack_cache=pack_cache,
+                                  profiler=profiler)
         base_config = baseline_like(config)
         baseline = TileSimulator(base_config)
         energy = EnergyModel()

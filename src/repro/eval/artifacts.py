@@ -47,6 +47,43 @@ BENCH_ENV = "REPRO_BENCH_DIR"
 _BENCH_SCHEMA = 1
 
 
+def _git_sha() -> str | None:
+    """Commit the benchmark ran against: ``GITHUB_SHA`` in CI, a quick
+    ``git rev-parse`` locally, None outside any checkout."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        import subprocess
+        out = subprocess.run(["git", "rev-parse", "HEAD"],
+                             capture_output=True, text=True, timeout=5)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def bench_provenance() -> dict:
+    """Where/how a benchmark ran: enough to judge whether two
+    artifacts are comparable before :func:`diff_bench` compares them.
+    Recorded automatically on every :func:`record_bench` run."""
+    import platform
+
+    from ..hw.backends import resolve_backend_name
+
+    try:
+        backend = resolve_backend_name(None)
+    except Exception:                    # noqa: BLE001 — env override
+        backend = None                   # naming a missing backend
+    return {
+        "git_sha": _git_sha(),
+        "kernel_backend": backend,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+    }
+
+
 def record_bench(name: str, metrics: dict, context: dict | None = None,
                  directory: str | None = None) -> str | None:
     """Append one benchmark run to a versioned ``BENCH_<name>.json``.
@@ -58,10 +95,12 @@ def record_bench(name: str, metrics: dict, context: dict | None = None,
     recording is off.
 
     The file holds ``{"schema": 1, "name": ..., "runs": [...]}``; each
-    call appends ``{"metrics": ..., "context": ...}`` so reruns in one
-    CI job accumulate rather than overwrite.  The write is
-    atomic (temp file + rename) so a crashed run never leaves a
-    truncated artifact.
+    call appends ``{"metrics": ..., "context": ..., "provenance":
+    ...}`` — provenance (git SHA, kernel backend, python/numpy
+    versions) is stamped automatically so accumulated runs from
+    different commits stay tellable apart.  Reruns in one CI job
+    accumulate rather than overwrite, and the write is atomic (temp
+    file + rename) so a crashed run never leaves a truncated artifact.
     """
     directory = directory or os.environ.get(BENCH_ENV)
     if not directory:
@@ -78,7 +117,8 @@ def record_bench(name: str, metrics: dict, context: dict | None = None,
         except (OSError, ValueError):
             pass                     # corrupt artifact: start fresh
     payload["runs"].append({"metrics": _jsonable(metrics),
-                            "context": _jsonable(context or {})})
+                            "context": _jsonable(context or {}),
+                            "provenance": bench_provenance()})
     tmp = path + ".tmp"
     with open(tmp, "w") as fh:
         json.dump(payload, fh, indent=2)
@@ -141,3 +181,59 @@ def save_sweep_report(report, directory: str) -> str:
                    "summary": report.summary(),
                    "outcomes": _jsonable(report.outcomes)}, fh, indent=2)
     return path
+
+
+def _fmt_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, (dict, list)):
+        return json.dumps(value, sort_keys=True)
+    return str(value)
+
+
+def main(argv=None) -> None:
+    """``python -m repro.eval.artifacts diff A.json B.json`` — compare
+    two ``BENCH_*.json`` artifacts metric by metric (the A/B ablation
+    report over CI uploads)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval.artifacts",
+        description="inspect and compare BENCH_*.json artifacts")
+    sub = parser.add_subparsers(dest="command", required=True)
+    diff = sub.add_parser("diff", help="metric-by-metric A/B diff of "
+                                       "two bench artifacts")
+    diff.add_argument("baseline", help="baseline BENCH_*.json")
+    diff.add_argument("candidate", help="candidate BENCH_*.json")
+    diff.add_argument("--run", type=int, default=-1,
+                      help="which accumulated run to compare on each "
+                           "side (default: last)")
+    args = parser.parse_args(argv)
+
+    try:
+        base = load_bench(args.baseline)
+        cand = load_bench(args.candidate)
+        table = diff_bench(base, cand, run=args.run)
+    except (OSError, ValueError, KeyError, IndexError) as error:
+        raise SystemExit(f"error: {error}") from None
+
+    for side, payload in (("baseline", base), ("candidate", cand)):
+        provenance = payload["runs"][args.run].get("provenance") or {}
+        sha = provenance.get("git_sha") or "unknown"
+        backend = provenance.get("kernel_backend") or "unknown"
+        print(f"# {side}: {payload['name']} @ {str(sha)[:12]} "
+              f"(kernel {backend})")
+    width = max((len(m) for m in table), default=6)
+    print(f"{'metric':<{width}}  {'baseline':>12}  {'candidate':>12}  "
+          f"{'delta':>12}  {'ratio':>8}")
+    for metric, row in table.items():
+        print(f"{metric:<{width}}  {_fmt_cell(row['baseline']):>12}  "
+              f"{_fmt_cell(row['candidate']):>12}  "
+              f"{_fmt_cell(row['delta']):>12}  "
+              f"{_fmt_cell(row['ratio']):>8}")
+
+
+if __name__ == "__main__":
+    main()

@@ -72,11 +72,26 @@ class VerifyOutcome:
 
 
 class WorkloadStore:
-    """Directory of trained workloads, shared by sweep workers."""
+    """Directory of trained workloads, shared by sweep workers.
 
-    def __init__(self, root: str):
+    ``registry`` (a :class:`~repro.obs.MetricsRegistry`) opts into
+    cache observability: every save / load hit / load miss /
+    invalidate / evict publishes into
+    ``repro_store_events_total{event=...}``."""
+
+    _STORE_EVENTS = ("save", "hit", "miss", "invalidate", "evict")
+
+    def __init__(self, root: str, registry=None):
+        from ..obs.metrics import as_registry
+
         self.root = str(root)
         os.makedirs(self.root, exist_ok=True)
+        registry = as_registry(registry)
+        self._m_events = {
+            event: registry.counter(
+                "repro_store_events_total",
+                "workload-store cache events by outcome", event=event)
+            for event in self._STORE_EVENTS}
 
     # -- keys -----------------------------------------------------------
     @staticmethod
@@ -213,6 +228,7 @@ class WorkloadStore:
             os.replace(tmp, final)
         except OSError:
             shutil.rmtree(tmp, ignore_errors=True)
+        self._m_events["save"].inc()
         return final
 
     def verify(self) -> list[VerifyOutcome]:
@@ -374,6 +390,7 @@ class WorkloadStore:
                           ignore_errors=True)
             total -= sizes[key]
             evicted.append(key)
+            self._m_events["evict"].inc()
         return evicted
 
     def invalidate(self, spec: WorkloadSpec, scale: Scale) -> bool:
@@ -382,6 +399,7 @@ class WorkloadStore:
         if not os.path.isdir(directory):
             return False
         shutil.rmtree(directory)
+        self._m_events["invalidate"].inc()
         return True
 
     def clear(self) -> int:
@@ -407,15 +425,20 @@ class WorkloadStore:
         directory = self.entry_dir(spec, scale)
         entry = self._read_entry(directory)
         if entry is None:
+            self._m_events["miss"].inc()
             return None
         if not self._fresh(entry, spec, scale):
             self.invalidate(spec, scale)
+            self._m_events["miss"].inc()
             return None
         try:
-            return self._rehydrate(directory, entry, spec, scale)
+            result = self._rehydrate(directory, entry, spec, scale)
         except Exception:                # noqa: BLE001 — corrupt entry
             self.invalidate(spec, scale)
+            self._m_events["miss"].inc()
             return None
+        self._m_events["hit"].inc()
+        return result
 
     def _rehydrate(self, directory: str, entry: dict,
                    spec: WorkloadSpec, scale: Scale) -> WorkloadResult:

@@ -155,14 +155,21 @@ class PlaneGroupCache:
     validation — any other change (re-quantization, truncation,
     preemption swap-in) is a miss and repacks, so stale planes are
     impossible by construction.  Entries are LRU-bounded.
+
+    ``counters`` optionally mirrors the tallies into live metrics: a
+    mapping with ``"hit"``/``"extend"``/``"miss"`` values exposing
+    ``inc()`` (:class:`repro.obs.Counter` instances in practice — the
+    serving engine binds ``repro_pack_cache_events_total`` series and
+    hands them in, keeping this module free of any obs import).
     """
 
-    def __init__(self, max_entries: int = 256):
+    def __init__(self, max_entries: int = 256, counters=None):
         self.max_entries = max_entries
         self._entries: OrderedDict[Any, _CacheEntry] = OrderedDict()
         self.hits = 0
         self.extended = 0
         self.misses = 0
+        self.counters = counters
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -186,6 +193,8 @@ class PlaneGroupCache:
             old_rows = entry.keys.shape[0]
             if old_rows == k.shape[0] and np.array_equal(entry.keys, k):
                 self.hits += 1
+                if self.counters is not None:
+                    self.counters["hit"].inc()
                 self._entries.move_to_end(key)
                 return entry.stacked
             if 0 < old_rows < k.shape[0] and np.array_equal(
@@ -195,9 +204,13 @@ class PlaneGroupCache:
                     [entry.stacked, suffix], axis=1)
                 entry.keys = k.copy()
                 self.extended += 1
+                if self.counters is not None:
+                    self.counters["extend"].inc()
                 self._entries.move_to_end(key)
                 return entry.stacked
         self.misses += 1
+        if self.counters is not None:
+            self.counters["miss"].inc()
         stacked = pack_planes(k, spec)
         self._entries[key] = _CacheEntry(spec=spec, keys=k.copy(),
                                          stacked=stacked)

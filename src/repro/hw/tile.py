@@ -64,7 +64,8 @@ class TileRunResult:
 
 class TileSimulator:
     def __init__(self, config: TileConfig, backend: str | None = None,
-                 pack_cache: PlaneGroupCache | None = None):
+                 pack_cache: PlaneGroupCache | None = None,
+                 profiler=None):
         """``backend`` overrides the kernel backend by registry name;
         otherwise ``config.kernel_backend``, then the
         ``REPRO_KERNEL_BACKEND`` environment variable, decide (see
@@ -77,11 +78,16 @@ class TileSimulator:
         own, which still captures the growing-K reuse *within* one
         job list.  Jobs opt in by carrying a ``pack_key`` in their
         metadata; backends without a fused tier ignore the cache.
+
+        ``profiler`` (a :class:`repro.obs.KernelProfiler`) opts into
+        timing each fused kernel dispatch: backend name, wall time,
+        and how many jobs / distinct plane groups rode the call.
         """
         self.config = config
         self.backend = get_backend(backend or config.kernel_backend)
         self.pack_cache = (PlaneGroupCache() if pack_cache is None
                            else pack_cache)
+        self.profiler = profiler
 
     # -- batched kernel dispatch ----------------------------------------
     def _kernel_many(self, jobs: list[HeadJob], quants: list):
@@ -97,8 +103,18 @@ class TileSimulator:
                       group=config.serial_bits, valid=job.valid,
                       pack_key=job.metadata.get("pack_key"))
             for job, (q, k, threshold) in zip(jobs, quants)]
-        return run_many(self.backend, kernel_jobs,
-                        cache=self.pack_cache)
+        if self.profiler is None:
+            return run_many(self.backend, kernel_jobs,
+                            cache=self.pack_cache)
+        from time import perf_counter
+        start = perf_counter()
+        results = run_many(self.backend, kernel_jobs,
+                           cache=self.pack_cache)
+        elapsed = perf_counter() - start
+        groups = len({job.pack_key for job in kernel_jobs})
+        self.profiler.record(self.backend.name, jobs=len(kernel_jobs),
+                             groups=groups, elapsed_s=elapsed)
+        return results
 
     # -- per-job scheduling, all whole-array ops ------------------------
     def _job_activity(self, job: HeadJob, quant, kernel):

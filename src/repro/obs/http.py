@@ -1,0 +1,113 @@
+"""Prometheus-text exposition over HTTP.
+
+Two servers for the two execution styles in this repo:
+
+* :class:`MetricsEndpoint` — asyncio, mounts next to
+  :class:`repro.serve.aio.AsyncServingEngine` on the event loop that
+  is already running the front door.
+* :func:`start_metrics_server` — a daemon-thread
+  ``ThreadingHTTPServer`` for synchronous CLIs (the load generator,
+  ``python -m repro.serve``) whose main thread is busy stepping the
+  engine.  Reads of the registry from the serving thread's writes are
+  safe per the single-writer notes in :mod:`repro.obs.metrics`.
+
+Both serve ``GET /metrics`` (text format 0.0.4) and ``GET /healthz``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+__all__ = ["MetricsEndpoint", "start_metrics_server"]
+
+_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _respond(path: str, registry) -> tuple:
+    """(status, body-bytes) for a request path, shared by both servers."""
+    if path.split("?", 1)[0] in ("/metrics", "/metrics/"):
+        return 200, registry.exposition().encode("utf-8")
+    if path.split("?", 1)[0] in ("/", "/healthz"):
+        return 200, b"ok\n"
+    return 404, b"not found\n"
+
+
+class MetricsEndpoint:
+    """Minimal asyncio HTTP endpoint exposing one registry."""
+
+    def __init__(self, registry, host: str = "127.0.0.1", port: int = 0):
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self._server = None
+
+    async def start(self) -> "MetricsEndpoint":
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    async def _handle(self, reader, writer):
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1").split()
+            # drain headers so keep-alive clients see a clean close
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            if len(parts) < 2 or parts[0] != "GET":
+                status, body = 405, b"method not allowed\n"
+            else:
+                status, body = _respond(parts[1], self.registry)
+            reason = {200: "OK", 404: "Not Found",
+                      405: "Method Not Allowed"}[status]
+            writer.write((f"HTTP/1.1 {status} {reason}\r\n"
+                          f"Content-Type: {_CONTENT_TYPE}\r\n"
+                          f"Content-Length: {len(body)}\r\n"
+                          f"Connection: close\r\n\r\n").encode("latin-1"))
+            writer.write(body)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+
+
+def start_metrics_server(registry, host: str = "127.0.0.1",
+                         port: int = 0) -> ThreadingHTTPServer:
+    """Serve ``/metrics`` from a daemon thread; ``.shutdown()`` to stop.
+
+    Returns the live server; the bound port is
+    ``server.server_address[1]`` (useful with ``port=0``).
+    """
+
+    class Handler(BaseHTTPRequestHandler):
+        def do_GET(self):
+            status, body = _respond(self.path, registry)
+            self.send_response(status)
+            self.send_header("Content-Type", _CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *args):  # keep CLI stdout clean
+            pass
+
+    server = ThreadingHTTPServer((host, port), Handler)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="repro-metrics", daemon=True)
+    thread.start()
+    return server

@@ -1,0 +1,308 @@
+"""In-process metrics registry with a zero-cost null twin.
+
+Design constraints, in priority order:
+
+1. **Hot-path cost when disabled is zero-ish.**  Instrumented code
+   binds metric handles once at construction time; with no registry
+   supplied it binds :data:`NULL_METRIC`, whose methods are empty.
+   No branches, no string formatting, no dict lookups per event.
+2. **Deterministic.**  Histograms use *fixed* log-spaced bucket
+   bounds chosen at bind time (never adapted to data), snapshots
+   sort series by name + labels, and exposition output is a pure
+   function of the snapshot — so two identical virtual-clock replays
+   produce byte-identical exports.
+3. **Lock-free.**  There are no locks anywhere.  Increments are
+   plain ``self.value += x`` — atomic enough under the GIL for the
+   single-writer pattern used here (the serving loop is one thread;
+   the HTTP exposition thread only *reads*, and a torn read of a
+   float counter is acceptable for monitoring).  This mirrors how
+   prometheus clients behave in practice without the mutex.
+
+Metric naming follows Prometheus conventions: ``repro_*`` prefix,
+``_total`` suffix on counters, base-unit (seconds) histograms.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "NullRegistry", "NULL_METRIC", "NULL_REGISTRY",
+           "as_registry", "log_buckets"]
+
+
+def log_buckets(lo: float, hi: float, per_decade: int = 3) -> tuple:
+    """Fixed log-spaced histogram bounds covering ``[lo, hi]``.
+
+    ``per_decade`` points per power of ten, rounded to 6 significant
+    digits so the bounds (and hence the exposition text) are stable
+    across platforms.  E.g. ``log_buckets(1e-4, 1.0)`` ->
+    ``(0.0001, 0.000215443, 0.000464159, 0.001, ... , 1.0)``.
+    """
+    if not (lo > 0 and hi > lo):
+        raise ValueError(f"need 0 < lo < hi, got lo={lo!r} hi={hi!r}")
+    bounds = []
+    step = 0
+    while True:
+        edge = lo * 10.0 ** (step / per_decade)
+        edge = float(f"{edge:.6g}")
+        bounds.append(edge)
+        if edge >= hi:
+            break
+        step += 1
+    return tuple(bounds)
+
+
+#: default bounds for durations in seconds: 10 us .. 100 s
+TIME_BUCKETS = log_buckets(1e-5, 100.0, per_decade=3)
+#: default bounds for small cardinalities (batch sizes, queue depths)
+COUNT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up (inc by {amount!r})")
+        self.value += amount
+
+    def sample(self):
+        return self.value
+
+
+class Gauge:
+    """Point-in-time value that can move both ways."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def sample(self):
+        return self.value
+
+
+class Histogram:
+    """Fixed-bound histogram (cumulative buckets at exposition time).
+
+    ``bounds`` are the *upper* bucket edges; one implicit +Inf bucket
+    is always appended.  Bounds are frozen at construction so replays
+    of the same workload always land observations in the same
+    buckets.
+    """
+
+    kind = "histogram"
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds=TIME_BUCKETS):
+        self.bounds = tuple(float(b) for b in bounds)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError(f"bucket bounds must be strictly increasing: {bounds!r}")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def sample(self):
+        return {"buckets": dict(zip(self.bounds, self.counts)),
+                "sum": self.sum, "count": self.count}
+
+
+class _NullMetric:
+    """Accepts every metric method as a no-op; bound on hot paths by default."""
+
+    kind = "null"
+    __slots__ = ()
+
+    def inc(self, amount=1.0):
+        pass
+
+    def dec(self, amount=1.0):
+        pass
+
+    def set(self, value):
+        pass
+
+    def observe(self, value):
+        pass
+
+    def sample(self):
+        return None
+
+
+NULL_METRIC = _NullMetric()
+
+
+class _Family:
+    __slots__ = ("kind", "help", "series")
+
+    def __init__(self, kind, help):
+        self.kind = kind
+        self.help = help
+        self.series = {}  # label-items tuple -> metric instance
+
+
+class MetricsRegistry:
+    """Names + labels -> live metric instances, with snapshot/exposition.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the same
+    (name, labels) pair always returns the same instance, so multiple
+    components can safely publish into one series.  A name registered
+    under one kind cannot be reused under another.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._families = {}
+
+    # -- registration -------------------------------------------------
+    def _get(self, kind, name, help, labels, factory):
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = _Family(kind, help)
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}, not {kind}")
+        key = tuple(sorted(labels.items()))
+        metric = family.series.get(key)
+        if metric is None:
+            metric = family.series[key] = factory()
+        return metric
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get("counter", name, help, labels, Counter)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._get("gauge", name, help, labels, Gauge)
+
+    def histogram(self, name: str, help: str = "", buckets=TIME_BUCKETS,
+                  **labels) -> Histogram:
+        metric = self._get("histogram", name, help, labels,
+                           lambda: Histogram(buckets))
+        if metric.bounds != tuple(float(b) for b in buckets):
+            raise ValueError(
+                f"histogram {name!r} re-registered with different buckets")
+        return metric
+
+    # -- read side ----------------------------------------------------
+    def snapshot(self) -> dict:
+        """Deterministic plain-dict view of every series.
+
+        ``{name: {"kind": ..., "help": ..., "series": [
+            {"labels": {...}, "value": <number | histogram dict>}, ...]}}``
+        sorted by name then label items, so two identical runs compare
+        equal with ``==`` (and serialize byte-identically).
+        """
+        out = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            rows = []
+            for key in sorted(family.series):
+                rows.append({"labels": dict(key),
+                             "value": family.series[key].sample()})
+            out[name] = {"kind": family.kind, "help": family.help,
+                         "series": rows}
+        return out
+
+    def exposition(self) -> str:
+        """Prometheus text format (version 0.0.4) of the whole registry."""
+        lines = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for key in sorted(family.series):
+                metric = family.series[key]
+                if family.kind == "histogram":
+                    cum = 0
+                    for bound, n in zip(metric.bounds, metric.counts):
+                        cum += n
+                        lines.append(f"{name}_bucket"
+                                     f"{_labels(key, ('le', _fmt(bound)))} {cum}")
+                    lines.append(f"{name}_bucket{_labels(key, ('le', '+Inf'))} "
+                                 f"{metric.count}")
+                    lines.append(f"{name}_sum{_labels(key)} {_fmt(metric.sum)}")
+                    lines.append(f"{name}_count{_labels(key)} {metric.count}")
+                else:
+                    lines.append(f"{name}{_labels(key)} {_fmt(metric.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt(value) -> str:
+    # integers without the trailing .0 — matches prometheus client output
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape(value: str) -> str:
+    return (str(value).replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _labels(key, *extra) -> str:
+    items = list(key) + list(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in items)
+    return "{" + body + "}"
+
+
+class NullRegistry:
+    """Shape-compatible registry that records nothing.
+
+    Every registration returns the shared :data:`NULL_METRIC`;
+    ``snapshot()``/``exposition()`` are empty.  Hot paths check
+    ``registry.enabled`` before doing any *derived* work (e.g.
+    walking queues to compute a depth gauge).
+    """
+
+    enabled = False
+
+    def counter(self, name, help="", **labels):
+        return NULL_METRIC
+
+    def gauge(self, name, help="", **labels):
+        return NULL_METRIC
+
+    def histogram(self, name, help="", buckets=TIME_BUCKETS, **labels):
+        return NULL_METRIC
+
+    def snapshot(self):
+        return {}
+
+    def exposition(self):
+        return ""
+
+
+NULL_REGISTRY = NullRegistry()
+
+
+def as_registry(registry) -> MetricsRegistry:
+    """``None``-coalesce to the null registry (the standard opt-in idiom)."""
+    return NULL_REGISTRY if registry is None else registry

@@ -1,0 +1,117 @@
+"""Per-request trace spans in Chrome trace-event JSON.
+
+The recorder is clock-agnostic: callers stamp every event with a
+timestamp *they* read from the engine clock (seconds), never the wall
+clock.  Under a ``VirtualClock`` the same workload therefore emits the
+same event stream, and :meth:`TraceRecorder.export` serializes it with
+sorted keys and fixed separators, so two identical replays produce
+**byte-identical** trace files (pinned by ``tests/test_obs.py``).
+
+The output loads directly in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``:
+
+* each engine gets a *process* track (``tracer.track(name)``),
+* each request id gets a *thread* row inside that track,
+* the request lifecycle appears as ``submit`` / ``finish`` instants
+  plus ``queue`` / ``prefill-chunk`` / ``decode-step`` / ``request``
+  complete-spans.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+__all__ = ["TraceRecorder", "NullTracer", "NULL_TRACER", "as_tracer"]
+
+# engine clocks are in seconds; trace-event ts/dur are microseconds
+_US = 1e6
+
+
+class TraceRecorder:
+    """Appends trace events; exports deterministic Chrome trace JSON."""
+
+    enabled = True
+
+    def __init__(self):
+        self.events = []
+        self._tracks = {}
+
+    def track(self, name: str) -> int:
+        """Get-or-assign the pid for a named track (e.g. one engine).
+
+        Pids are handed out in first-seen order, so replica
+        construction order fixes the numbering deterministically.
+        """
+        pid = self._tracks.get(name)
+        if pid is None:
+            pid = self._tracks[name] = len(self._tracks) + 1
+            self.events.append({"name": "process_name", "ph": "M",
+                                "pid": pid, "tid": 0,
+                                "args": {"name": name}})
+        return pid
+
+    def instant(self, name: str, ts: float, pid: int = 0, tid: int = 0,
+                **args) -> None:
+        event = {"name": name, "ph": "i", "s": "t",
+                 "ts": ts * _US, "pid": pid, "tid": tid}
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def complete(self, name: str, ts: float, dur: float, pid: int = 0,
+                 tid: int = 0, **args) -> None:
+        event = {"name": name, "ph": "X",
+                 "ts": ts * _US, "dur": dur * _US, "pid": pid, "tid": tid}
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self._tracks.clear()
+
+    def export(self) -> str:
+        """Chrome trace JSON; a pure function of the recorded events."""
+        return json.dumps({"traceEvents": self.events,
+                           "displayTimeUnit": "ms"},
+                          sort_keys=True, separators=(",", ":"))
+
+    def save(self, path: str) -> str:
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.export())
+        return path
+
+
+class NullTracer:
+    """No-op tracer bound by default; ``enabled`` gates arg-building."""
+
+    enabled = False
+
+    def track(self, name):
+        return 0
+
+    def instant(self, name, ts, pid=0, tid=0, **args):
+        pass
+
+    def complete(self, name, ts, dur, pid=0, tid=0, **args):
+        pass
+
+    def clear(self):
+        pass
+
+    def export(self):
+        return ""
+
+    def save(self, path):
+        return path
+
+
+NULL_TRACER = NullTracer()
+
+
+def as_tracer(tracer) -> TraceRecorder:
+    """``None``-coalesce to the null tracer (the standard opt-in idiom)."""
+    return NULL_TRACER if tracer is None else tracer

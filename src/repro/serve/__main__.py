@@ -71,13 +71,15 @@ def _random_inputs(config, length: int, rng) -> np.ndarray:
     return rng.standard_normal((length, config.input_dim))
 
 
-def make_serving(args, engine, hw_config) -> ServingEngine:
+def make_serving(args, engine, hw_config,
+                 name: str | None = None) -> ServingEngine:
     return ServingEngine(
         engine,
         BatchPolicy(max_batch_size=args.max_batch_size,
                     max_wait=args.max_wait),
         estimate_hardware=True, hw_config=hw_config,
-        continuous=args.continuous, preempt_after=args.preempt_after)
+        continuous=args.continuous, preempt_after=args.preempt_after,
+        registry=args.obs_registry, tracer=args.obs_tracer, name=name)
 
 
 def print_reason_stats(name: str, stats, health: str | None = None
@@ -98,7 +100,7 @@ def print_reason_stats(name: str, stats, health: str | None = None
 def classify_demo(args, engine: PrunedInferenceEngine,
                   hw_config) -> None:
     print("== one-shot classification traffic ==")
-    serving = make_serving(args, engine, hw_config)
+    serving = make_serving(args, engine, hw_config, name="classifier")
     config = engine.model.config
     rng = np.random.default_rng(args.seed)
     lengths = rng.integers(3, config.max_seq_len + 1, size=args.requests)
@@ -130,7 +132,7 @@ def generate_demo(args, engine: PrunedInferenceEngine,
     scheduler = "continuous" if args.continuous else "round-based"
     print(f"== concurrent generation streams ({scheduler} scheduler, "
           "per-stream KV caches) ==")
-    serving = make_serving(args, engine, hw_config)
+    serving = make_serving(args, engine, hw_config, name="lm")
     config = engine.model.config
     rng = np.random.default_rng(args.seed)
     prompt_cap = max(2, min(9, config.max_seq_len // 2))
@@ -174,7 +176,8 @@ def tier_demo(args, directory: str, hw_config) -> None:
         policy=BatchPolicy(max_batch_size=args.max_batch_size,
                            max_wait=args.max_wait),
         estimate_hardware=True, hw_config=hw_config,
-        continuous=args.continuous, preempt_after=args.preempt_after)
+        continuous=args.continuous, preempt_after=args.preempt_after,
+        registry=args.obs_registry, tracer=args.obs_tracer)
     config = tier.workers[0].engine.model.config
     rng = np.random.default_rng(args.seed)
     prompt_cap = max(2, min(9, config.max_seq_len // 2))
@@ -190,11 +193,21 @@ def tier_demo(args, directory: str, hw_config) -> None:
               f"{hw.runtime_ns:8.1f} ns "
               f"({hw.speedup_vs_baseline:.2f}x, kernel "
               f"{hw.kernel_backend})")
-    for name, summary in tier.stats_summary().items():
-        print(f"  -> {name}: {summary['completed']} served, "
-              f"{summary['outstanding_tokens']} tokens outstanding")
+    summary = tier.stats_summary()
+    tier_row = summary["tier"]
+    reasons = ", ".join(f"{reason}={count}" for reason, count
+                        in sorted(tier_row["reasons"].items()))
+    print(f"  -> tier: {tier_row['completed']} terminal across "
+          f"{tier_row['replicas']} replicas ({reasons or 'none'}); "
+          f"shed={tier_row['shed']} errors={tier_row['errors']} "
+          f"preemptions={tier_row['preemptions']}")
+    for name, row in summary["workers"].items():
+        print(f"  -> {name}: {row['completed']} served, "
+              f"{row['outstanding_tokens']} tokens outstanding, "
+              f"health={row['health']}")
         if args.stats:
-            print_reason_stats(name, tier.engines[name].stats)
+            print_reason_stats(name, tier.engines[name].stats,
+                               health=row["health"])
 
 
 def router_demo(args, engines: dict[str, PrunedInferenceEngine],
@@ -202,9 +215,9 @@ def router_demo(args, engines: dict[str, PrunedInferenceEngine],
     print(f"== multi-model router ({len(engines)} engines, shared "
           f"step budget {args.max_batch_size}) ==")
     router = ModelRouter(
-        {name: make_serving(args, engine, hw_config)
+        {name: make_serving(args, engine, hw_config, name=name)
          for name, engine in engines.items()},
-        step_budget=args.max_batch_size)
+        step_budget=args.max_batch_size, registry=args.obs_registry)
     rng = np.random.default_rng(args.seed)
     targets = engines.items()
     if args.model is not None:
@@ -299,6 +312,25 @@ def main(argv=None) -> None:
     parser.add_argument("--kernel-backend", default=None,
                         help="bit-serial kernel backend for hardware "
                              "estimates (see repro.hw.backends)")
+    parser.add_argument("--metrics-dump", action="store_true",
+                        help="print the Prometheus-text metrics "
+                             "exposition after the demo (non-server "
+                             "snapshot surface)")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve GET /metrics on 127.0.0.1:PORT "
+                             "from a background thread for the "
+                             "duration of the demo (0 = ephemeral)")
+    parser.add_argument("--metrics-linger", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="keep the --metrics-port endpoint alive "
+                             "this long after the demo finishes (lets "
+                             "an external scraper catch the final "
+                             "counters)")
+    parser.add_argument("--trace-export", default=None, metavar="PATH",
+                        help="record per-request trace spans and write "
+                             "Chrome trace-event JSON here (open in "
+                             "Perfetto)")
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
 
@@ -313,10 +345,45 @@ def main(argv=None) -> None:
                      "at least two --engine-dir snapshots")
     if args.replicas < 1:
         parser.error("--replicas must be >= 1")
+    if args.replicas > 1 and len(args.engine_dir or []) > 1:
+        parser.error("--replicas scales one snapshot; mount at most "
+                     "one --engine-dir")
+
+    # observability surfaces are opt-in: without these flags every
+    # engine binds no-op handles and the demo runs uninstrumented
+    args.obs_registry = None
+    args.obs_tracer = None
+    metrics_server = None
+    if args.metrics_dump or args.metrics_port is not None:
+        from ..obs import MetricsRegistry
+        args.obs_registry = MetricsRegistry()
+    if args.trace_export:
+        from ..obs import TraceRecorder
+        args.obs_tracer = TraceRecorder()
+    if args.metrics_port is not None:
+        from ..obs import start_metrics_server
+        metrics_server = start_metrics_server(args.obs_registry,
+                                              port=args.metrics_port)
+        print(f"[metrics] serving http://127.0.0.1:"
+              f"{metrics_server.server_address[1]}/metrics")
+    try:
+        _dispatch(args, hw_config)
+    finally:
+        if metrics_server is not None:
+            if args.metrics_linger > 0:
+                import time
+                time.sleep(args.metrics_linger)
+            metrics_server.shutdown()
+        if args.obs_tracer is not None:
+            args.obs_tracer.save(args.trace_export)
+            print(f"[trace] wrote {len(args.obs_tracer.events)} events "
+                  f"to {args.trace_export}")
+        if args.metrics_dump:
+            print(args.obs_registry.exposition(), end="")
+
+
+def _dispatch(args, hw_config) -> None:
     if args.replicas > 1:
-        if len(args.engine_dir or []) > 1:
-            parser.error("--replicas scales one snapshot; mount at most "
-                         "one --engine-dir")
         import tempfile
         with tempfile.TemporaryDirectory() as scratch:
             if args.engine_dir:

@@ -25,11 +25,18 @@ from .engine import ServeResult, ServingEngine
 
 
 class AsyncServingEngine:
-    """asyncio wrapper: ``async with AsyncServingEngine(core) as s: ...``"""
+    """asyncio wrapper: ``async with AsyncServingEngine(core) as s: ...``
 
-    def __init__(self, serving, clock=time.monotonic):
+    ``registry`` opts into the Prometheus front door:
+    :meth:`serve_metrics` mounts a ``GET /metrics`` endpoint on the
+    same event loop (the registry the core engines publish into is
+    usually the one passed here, but any registry works)."""
+
+    def __init__(self, serving, clock=time.monotonic, registry=None):
         self._serving = serving
         self._clock = clock
+        self._registry = registry
+        self._metrics_endpoint = None
         self._futures: dict[int, asyncio.Future] = {}
         self._wake: asyncio.Event | None = None
         self._task: asyncio.Task | None = None
@@ -44,6 +51,22 @@ class AsyncServingEngine:
     async def __aexit__(self, *exc) -> None:
         await self.close()
 
+    async def serve_metrics(self, host: str = "127.0.0.1",
+                            port: int = 0):
+        """Mount the Prometheus-text exposition endpoint next to the
+        front door; returns the started
+        :class:`~repro.obs.http.MetricsEndpoint` (its ``.port`` is the
+        bound port — handy with ``port=0``).  Stopped by
+        :meth:`close`."""
+        if self._registry is None:
+            raise ValueError("AsyncServingEngine needs registry= to "
+                             "serve /metrics")
+        from ..obs.http import MetricsEndpoint
+        self._metrics_endpoint = MetricsEndpoint(self._registry,
+                                                 host=host, port=port)
+        await self._metrics_endpoint.start()
+        return self._metrics_endpoint
+
     async def close(self) -> None:
         self._closed = True
         if self._wake is not None:
@@ -51,6 +74,9 @@ class AsyncServingEngine:
         if self._task is not None:
             await self._task
             self._task = None
+        if self._metrics_endpoint is not None:
+            await self._metrics_endpoint.stop()
+            self._metrics_endpoint = None
         for future in self._futures.values():
             if not future.done():
                 future.cancel()

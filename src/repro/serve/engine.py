@@ -41,6 +41,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..hw.backends import PlaneGroupCache
+from ..obs.metrics import COUNT_BUCKETS, as_registry
+from ..obs.tracing import as_tracer
 from .batcher import BatchPolicy, CoalescedBatch, DynamicBatcher, \
     QueuedRequest, coalesce
 from .hardware import HardwareTotals, slice_record
@@ -190,7 +192,8 @@ class ServingEngine:
                  max_backlog_tokens: int | None = None,
                  step_token_budget: int | None = None,
                  slo: SLOAdmission | None = None,
-                 sleep=time.sleep):
+                 sleep=time.sleep, registry=None, tracer=None,
+                 profiler=None, name: str | None = None):
         """``continuous=True`` swaps the round-based stream loop for
         the step-planned continuous scheduler: ``slots`` decode slots
         (default ``max_batch_size``), preempting streams that ran
@@ -212,7 +215,16 @@ class ServingEngine:
         ``slo`` (an :class:`~repro.serve.scheduler.SLOAdmission`) sheds
         new work whose TTFT/TBT target is already unattainable given
         the current backlog, with the same typed ``shed_overload``
-        result."""
+        result.
+
+        Observability (all opt-in, no-op by default): ``registry`` (a
+        :class:`repro.obs.MetricsRegistry`) receives live
+        ``repro_*`` counters/gauges/histograms; ``tracer`` (a
+        :class:`repro.obs.TraceRecorder`) records per-request spans
+        stamped from the engine clock; ``profiler`` (a
+        :class:`repro.obs.KernelProfiler`) times the hardware
+        simulator's fused kernel calls; ``name`` labels this engine's
+        series and trace track (tier replicas pass ``worker0``...)."""
         if retries < 0:
             raise ValueError("retries must be >= 0")
         if max_backlog_tokens is not None and max_backlog_tokens < 1:
@@ -221,9 +233,15 @@ class ServingEngine:
         self.policy = policy or BatchPolicy()
         self._estimate_hw = estimate_hardware
         self._hw_config = hw_config
+        self.name = name
+        self._registry = as_registry(registry)
+        self._tracer = as_tracer(tracer)
+        self._profiler = profiler
+        self._bind_metrics()
         # per-engine pack-once plane cache: decode-step estimates of
         # the same stream reuse packed key bit-planes across steps
-        self._pack_cache = PlaneGroupCache() if estimate_hardware else None
+        self._pack_cache = (PlaneGroupCache(counters=self._pack_counters)
+                            if estimate_hardware else None)
         self._clock = clock
         self._faults = faults
         self._retries = retries
@@ -254,9 +272,12 @@ class ServingEngine:
             max_slots=slots or self.policy.max_batch_size,
             preempt_after=preempt_after,
             pressure=pressure,
-            step_token_budget=step_token_budget)) if continuous else None
+            step_token_budget=step_token_budget),
+            registry=registry, labels=self._labels) if continuous else None
         self._step_token_budget = step_token_budget
         self._slo = slo
+        if slo is not None:
+            slo.bind_metrics(self._registry, self._labels)
         self._now = self._clock()        # engine time of the latest step
         self._slots: KVSlotBuffer | None = None   # built on first admit
         self._streams: dict[int, StreamState] = {}
@@ -269,6 +290,71 @@ class ServingEngine:
         # router's circuit breaker reads this after each step
         self.last_step_errors = 0
         self.stats = ServingStats()
+
+    # -- observability --------------------------------------------------
+    def _bind_metrics(self) -> None:
+        """Bind every metric handle once; with no registry these are
+        all the shared no-op metric, so per-event cost is one empty
+        method call (the CI overhead benchmark pins the bound)."""
+        m = self._registry
+        self._labels = {"engine": self.name} if self.name else {}
+        labels = self._labels
+        self._pid = (self._tracer.track(self.name or "engine")
+                     if self._tracer.enabled else 0)
+        self._m_steps = m.counter(
+            "repro_steps_total", "scheduler steps taken", **labels)
+        self._m_step_seconds = m.histogram(
+            "repro_step_seconds",
+            "engine-clock duration of one scheduler step", **labels)
+        self._m_batch_size = m.histogram(
+            "repro_batch_size", "requests coalesced per model forward",
+            buckets=COUNT_BUCKETS, **labels)
+        self._m_queue_depth = m.gauge(
+            "repro_queue_depth",
+            "queued classify requests + waiting streams", **labels)
+        self._m_backlog = m.gauge(
+            "repro_backlog_tokens", "token backlog in the queues",
+            **labels)
+        self._m_kv_in_use = m.gauge(
+            "repro_kv_slots_in_use", "occupied KV decode slots", **labels)
+        self._m_admitted = m.counter(
+            "repro_admitted_total", "streams admitted into decode slots",
+            **labels)
+        self._m_preempted = m.counter(
+            "repro_preemptions_total",
+            "streams preempted to swappable KV state", **labels)
+        self._m_resumed = m.counter(
+            "repro_resumes_total", "swapped-out streams re-admitted",
+            **labels)
+        self._m_shed = m.counter(
+            "repro_shed_total", "requests fast-rejected at admission",
+            **labels)
+        self._m_errors = m.counter(
+            "repro_forward_errors_total", "model forwards that raised",
+            **labels)
+        self._m_retries = m.counter(
+            "repro_retries_total", "forward retries attempted", **labels)
+        self._m_reasons = {
+            reason: m.counter(
+                "repro_requests_terminal_total",
+                "finished requests by terminal reason",
+                reason=reason, **labels)
+            for reason in (REASON_OK, REASON_DEADLINE, REASON_CANCELLED,
+                           REASON_ERROR, REASON_SHED)}
+        # handles for the subsystems this engine constructs; binding
+        # unconditionally keeps the series present (at 0) even when the
+        # subsystem never materializes, so dashboards don't gap
+        self._pack_counters = {
+            event: m.counter(
+                "repro_pack_cache_events_total",
+                "plane-group cache lookups by outcome",
+                event=event, **labels)
+            for event in ("hit", "extend", "miss")}
+        self._kv_counters = {
+            event: m.counter(
+                "repro_kv_slot_events_total",
+                "KV slot-buffer transitions", event=event, **labels)
+            for event in ("admit", "evict", "swap_out")}
 
     # -- submission -----------------------------------------------------
     @staticmethod
@@ -309,6 +395,7 @@ class ServingEngine:
               error: ShedOverload) -> bool:
         self._terminal(request_id, kind, REASON_SHED, error)
         self.stats.shed += 1
+        self._m_shed.inc()
         self._instant.append(request_id)
         return False
 
@@ -346,6 +433,12 @@ class ServingEngine:
             request_id=self._allocate_id(), inputs=inputs, mask=mask,
             arrival=now,
             deadline=self._resolve_deadline(now, deadline, ttl))
+        if self._tracer.enabled:
+            self._tracer.instant("submit", now, self._pid,
+                                 request.request_id, kind="classify",
+                                 tokens=int(request.length))
+        # an admission-time shed terminates *now*: stamp it at arrival
+        self._now = now
         if not self._admit(request.length, request.request_id,
                            "classify"):
             return request.request_id
@@ -377,6 +470,13 @@ class ServingEngine:
             # request-derived KV budget: never a function of the batch
             kv_capacity=min(self._capacity,
                             prompt.size + max_new_tokens))
+        if self._tracer.enabled:
+            self._tracer.instant("submit", now, self._pid,
+                                 stream.stream_id, kind="generate",
+                                 prompt=int(prompt.size),
+                                 max_new_tokens=max_new_tokens)
+        # an admission-time shed terminates *now*: stamp it at arrival
+        self._now = now
         if not self._admit(prompt.size + max_new_tokens,
                            stream.stream_id, "generate"):
             return stream.stream_id
@@ -427,6 +527,15 @@ class ServingEngine:
                   stream: StreamState | None = None) -> None:
         """Record a typed non-ok terminal result."""
         self.stats.record_terminal(reason)
+        self._m_reasons[reason].inc()
+        if self._tracer.enabled:
+            self._tracer.instant("finish", self._now, self._pid,
+                                 request_id, reason=reason)
+            if stream is not None:
+                self._tracer.complete("request", stream.arrival,
+                                      self._now - stream.arrival,
+                                      self._pid, request_id,
+                                      reason=reason, kind=kind)
         self._results[request_id] = ServeResult(
             request_id=request_id, kind=kind,
             logits=(stream.last_logits
@@ -581,6 +690,14 @@ class ServingEngine:
             # refine the SLO model's step-time estimate from the wall
             # duration this step actually took (no-op on virtual clocks)
             self._slo.observe_step(self._clock() - now)
+        self._m_steps.inc()
+        if self._registry.enabled:
+            # gauges need derived queue walks — skip them entirely on
+            # the null registry to keep the uninstrumented path flat
+            self._m_step_seconds.observe(self._clock() - now)
+            self._m_queue_depth.set(self.queue_depth())
+            self._m_backlog.set(self._batcher.backlog_tokens())
+            self._m_kv_in_use.set(self.kv_slots_in_use())
         return completed
 
     def flush(self) -> list[int]:
@@ -647,12 +764,14 @@ class ServingEngine:
                 return call()
             except Exception:            # noqa: BLE001 — retried/reraised
                 self.stats.errors += 1
+                self._m_errors.inc()
                 if attempt >= self._retries:
                     raise
                 if self._retry_backoff > 0:
                     self._sleep(self._retry_backoff * (2 ** attempt))
                 attempt += 1
                 self.stats.retries += 1
+                self._m_retries.inc()
 
     def _serve_classify(self, bucket: int,
                         requests: list[QueuedRequest]) -> list[int]:
@@ -673,6 +792,7 @@ class ServingEngine:
                 completed.append(request.request_id)
             return completed
         self.stats.record_batch(len(requests))
+        self._m_batch_size.observe(len(requests))
         slices = estimates = None
         if records is not None:
             # per-step accounting: slice this batch's records into one
@@ -685,7 +805,8 @@ class ServingEngine:
                       for i in range(len(requests))]
             estimates = self.engine.estimate_many(
                 slices, self._hw_config, pack_cache=self._pack_cache,
-                pack_groups=[r.request_id for r in requests])
+                pack_groups=[r.request_id for r in requests],
+                profiler=self._profiler)
         completed = []
         for i, request in enumerate(requests):
             length = int(batch.lengths[i])
@@ -708,6 +829,19 @@ class ServingEngine:
                                      finished=self._now,
                                      first_token=self._now))
             self.stats.record_terminal(REASON_OK)
+            self._m_reasons[REASON_OK].inc()
+            if self._tracer.enabled:
+                rid = request.request_id
+                self._tracer.complete("queue", request.arrival,
+                                      self._now - request.arrival,
+                                      self._pid, rid)
+                self._tracer.complete("request", request.arrival,
+                                      self._now - request.arrival,
+                                      self._pid, rid, reason=REASON_OK,
+                                      kind="classify",
+                                      batch=len(requests))
+                self._tracer.instant("finish", self._now, self._pid,
+                                     rid, reason=REASON_OK)
             completed.append(request.request_id)
         return completed
 
@@ -765,7 +899,9 @@ class ServingEngine:
                 num_blocks=len(model.blocks),
                 heads=attention.num_heads,
                 head_dim=attention.head_dim,
-                capacity=self._capacity)
+                capacity=self._capacity,
+                counters=(self._kv_counters if self._registry.enabled
+                          else None))
         return self._slots
 
     def _continuous_step(self, budget: int | None) -> list[int]:
@@ -791,6 +927,14 @@ class ServingEngine:
         admitted = self._batcher.pop_streams(plan.admit_slots)
         resumed = [s for s in admitted if s.swapped]
         fresh = [s for s in admitted if not s.swapped]
+        if self._tracer.enabled:
+            for stream in plan.preempt:
+                self._tracer.instant("preempt", self._now, self._pid,
+                                     stream.stream_id)
+            for stream in admitted:
+                self._tracer.instant("admit", self._now, self._pid,
+                                     stream.stream_id,
+                                     resumed=stream.swapped)
         for stream in resumed:
             caches, stream.caches = stream.caches, None
             slots.admit(stream, caches)
@@ -800,6 +944,9 @@ class ServingEngine:
         self.stats.record_step(admitted=len(admitted),
                                preempted=len(plan.preempt),
                                resumed=len(resumed))
+        self._m_admitted.inc(len(admitted))
+        self._m_preempted.inc(len(plan.preempt))
+        self._m_resumed.inc(len(resumed))
         if len(slots):
             caches = slots.batch()
             chunk = list(slots.streams)
@@ -830,9 +977,17 @@ class ServingEngine:
             # allocated yet); other streams keep flowing
             return self._fail_chunk(streams, error)
         self.stats.record_batch(len(streams))
+        self._m_batch_size.observe(len(streams))
         completed = []
         for i, stream in enumerate(streams):
             size = int(lengths[i])
+            if self._tracer.enabled:
+                self._tracer.complete("queue", stream.arrival,
+                                      self._now - stream.arrival,
+                                      self._pid, stream.stream_id)
+                self._tracer.complete("prefill-chunk", self._now, 0.0,
+                                      self._pid, stream.stream_id,
+                                      tokens=size, batch=len(streams))
             trimmed = [
                 {"k": cache["k"].data[i, :, :size],
                  "v": cache["v"].data[i, :, :size]}
@@ -874,8 +1029,13 @@ class ServingEngine:
             return self._fail_chunk(chunk, error)
         self.stats.decode_rounds += 1
         self.stats.record_batch(len(chunk))
+        self._m_batch_size.observe(len(chunk))
         completed = []
         for i, stream in enumerate(chunk):
+            if self._tracer.enabled:
+                self._tracer.complete("decode-step", self._now, 0.0,
+                                      self._pid, stream.stream_id,
+                                      batch=len(chunk))
             if records is not None:
                 stream.add_records(
                     [slice_record(r, i, 1, histories[i] + 1)
@@ -914,10 +1074,20 @@ class ServingEngine:
             estimate = self.engine.estimate_from_records(
                 stream.flat_records(), self._hw_config,
                 pack_cache=self._pack_cache,
-                pack_group=stream.stream_id)
+                pack_group=stream.stream_id,
+                profiler=self._profiler)
             self.stats.hardware.add(estimate)
         stream.evict()
         self.stats.record_terminal(REASON_OK)
+        self._m_reasons[REASON_OK].inc()
+        if self._tracer.enabled:
+            self._tracer.complete("request", stream.arrival,
+                                  self._now - stream.arrival,
+                                  self._pid, stream.stream_id,
+                                  reason=REASON_OK, kind="generate",
+                                  new_tokens=int(stream.new_tokens))
+            self._tracer.instant("finish", self._now, self._pid,
+                                 stream.stream_id, reason=REASON_OK)
         self._results[stream.stream_id] = ServeResult(
             request_id=stream.stream_id, kind="generate",
             logits=(stream.last_logits if stream.last_logits is not None

@@ -396,7 +396,39 @@ def main(argv=None) -> None:
     parser.add_argument("--max-ttft-p99", type=float, default=None)
     parser.add_argument("--max-tbt-p99", type=float, default=None)
     parser.add_argument("--min-tok-s", type=float, default=None)
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve GET /metrics on 127.0.0.1:PORT "
+                             "from a background thread during the "
+                             "replay (0 = ephemeral)")
+    parser.add_argument("--metrics-linger", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="keep the --metrics-port endpoint alive "
+                             "this long after the replay so an "
+                             "external scraper catches the final "
+                             "counters")
+    parser.add_argument("--metrics-dump", action="store_true",
+                        help="print the Prometheus-text exposition "
+                             "after the replay")
+    parser.add_argument("--trace-export", default=None, metavar="PATH",
+                        help="write per-request spans as Chrome "
+                             "trace-event JSON (open in Perfetto); "
+                             "byte-identical across --virtual replays")
     args = parser.parse_args(argv)
+
+    registry = tracer = metrics_server = None
+    if args.metrics_dump or args.metrics_port is not None:
+        from ..obs import MetricsRegistry
+        registry = MetricsRegistry()
+    if args.trace_export:
+        from ..obs import TraceRecorder
+        tracer = TraceRecorder()
+    if args.metrics_port is not None:
+        from ..obs import start_metrics_server
+        metrics_server = start_metrics_server(registry,
+                                              port=args.metrics_port)
+        print(f"[metrics] serving http://127.0.0.1:"
+              f"{metrics_server.server_address[1]}/metrics")
 
     with tempfile.TemporaryDirectory() as scratch:
         directory = args.engine_dir
@@ -411,7 +443,8 @@ def main(argv=None) -> None:
             policy=BatchPolicy(max_batch_size=args.max_batch_size,
                                max_wait=0.0),
             clock=clock, continuous=True,
-            step_token_budget=args.step_token_budget, slo=slo)
+            step_token_budget=args.step_token_budget, slo=slo,
+            registry=registry, tracer=tracer)
         trace = TraceSpec(
             seed=args.seed, requests=args.requests,
             process=args.process, rate=args.rate,
@@ -432,6 +465,16 @@ def main(argv=None) -> None:
         "python": sys.version.split()[0]})
     if path:
         print(f"  [bench] recorded -> {path}")
+    if tracer is not None:
+        tracer.save(args.trace_export)
+        print(f"  [trace] wrote {len(tracer.events)} events to "
+              f"{args.trace_export}")
+    if metrics_server is not None:
+        if args.metrics_linger > 0:
+            time.sleep(args.metrics_linger)
+        metrics_server.shutdown()
+    if args.metrics_dump:
+        print(registry.exposition(), end="")
     if args.check:
         report.check(max_ttft_p99=args.max_ttft_p99,
                      min_tok_s=args.min_tok_s,

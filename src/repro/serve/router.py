@@ -35,8 +35,11 @@ import time
 
 import numpy as np
 
+from ..obs.metrics import as_registry
 from .engine import (REASON_ERROR, ServeResult, ServingEngine)
 from .health import EngineHealth, HealthPolicy
+
+_BREAKER_LEVELS = {"healthy": 0, "degraded": 1, "quarantined": 2}
 
 
 class UnknownModelError(KeyError):
@@ -68,7 +71,8 @@ class ModelRouter:
                  step_budget: int | None = None,
                  clock=time.monotonic,
                  health: HealthPolicy | None = None,
-                 fallbacks: dict[str, str] | None = None):
+                 fallbacks: dict[str, str] | None = None,
+                 registry=None):
         if not engines:
             raise ValueError("ModelRouter needs at least one engine")
         self.engines = dict(engines)
@@ -78,6 +82,31 @@ class ModelRouter:
         self._next_id = 0
         self._turn = 0                   # rotating remainder pointer
         self.health = {name: EngineHealth(health) for name in engines}
+        # breaker observability: a per-model state gauge (0 healthy,
+        # 1 degraded, 2 quarantined), transition counters, reroute /
+        # fast-reject counters.  No-op handles without a registry.
+        self._registry = as_registry(registry)
+        self._m_breaker = {
+            name: self._registry.gauge(
+                "repro_breaker_state",
+                "circuit state: 0 healthy, 1 degraded, 2 quarantined",
+                model=name)
+            for name in engines}
+        self._m_transitions = {
+            (name, state): self._registry.counter(
+                "repro_breaker_transitions_total",
+                "circuit-breaker state changes", model=name, to=state)
+            for name in engines for state in _BREAKER_LEVELS}
+        self._m_rerouted = {
+            name: self._registry.counter(
+                "repro_reroutes_total",
+                "waiting requests rerouted off a quarantined model",
+                model=name)
+            for name in engines}
+        self._m_rejected = self._registry.counter(
+            "repro_router_fast_rejects_total",
+            "submissions rejected because no healthy engine was mounted")
+        self._breaker_seen = {name: "healthy" for name in engines}
         self.fallbacks = dict(fallbacks or {})
         for model, fallback in self.fallbacks.items():
             if model not in self.engines:
@@ -130,6 +159,7 @@ class ModelRouter:
     def _reject(self, kind: str, error: Exception) -> int:
         """Mint a router id whose result is already a typed terminal
         failure (fast-reject: quarantined target, no fallback)."""
+        self._m_rejected.inc()
         router_id = self._next_id
         self._next_id += 1
         self._local[router_id] = ServeResult(
@@ -228,6 +258,7 @@ class ModelRouter:
                         completed.append(rid)
                         del self._routes[rid]
                     continue
+                self._m_rerouted[name].inc()
                 if rid is not None:
                     self._routes[rid] = (fallback, inner)
             for stream in streams:
@@ -246,6 +277,7 @@ class ModelRouter:
                         completed.append(rid)
                         del self._routes[rid]
                     continue
+                self._m_rerouted[name].inc()
                 if rid is not None:
                     self._routes[rid] = (fallback, inner)
         completed += self._completed_ids(name, engine.abort_all(error))
@@ -334,7 +366,20 @@ class ModelRouter:
                     completed += self._quarantine(name, now, error)
             else:
                 health.record_success()
+        if self._registry.enabled:
+            self._sync_breaker_metrics()
         return completed
+
+    def _sync_breaker_metrics(self) -> None:
+        """Publish breaker states after a step: the gauge tracks the
+        current level, and every observed state *change* ticks the
+        transition counter for the state entered."""
+        for name, health in self.health.items():
+            state = health.state
+            self._m_breaker[name].set(_BREAKER_LEVELS[state])
+            if state != self._breaker_seen[name]:
+                self._breaker_seen[name] = state
+                self._m_transitions[(name, state)].inc()
 
     def flush(self) -> list[int]:
         completed, self._instant = self._instant, []

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs.metrics import COUNT_BUCKETS, NULL_METRIC, as_registry
 from .streams import StreamState
 
 
@@ -80,10 +81,29 @@ class StepPlan:
 
 
 class StepPlanner:
-    """Plans one scheduler step from queue state alone."""
+    """Plans one scheduler step from queue state alone.
 
-    def __init__(self, config: SchedulerConfig):
+    ``registry``/``labels`` opt into publishing per-plan metrics
+    (plans made, planned step tokens, budget-capped admissions); by
+    default the planner binds no-op handles and records nothing.
+    """
+
+    def __init__(self, config: SchedulerConfig, registry=None,
+                 labels: dict | None = None):
         self.config = config
+        metrics = as_registry(registry)
+        labels = labels or {}
+        self._m_plans = metrics.counter(
+            "repro_scheduler_plans_total",
+            "continuous-scheduler planning passes", **labels)
+        self._m_step_tokens = metrics.histogram(
+            "repro_scheduler_step_tokens",
+            "tokens planned into one step (decode + chunked prefill)",
+            buckets=COUNT_BUCKETS, **labels)
+        self._m_budget_capped = metrics.counter(
+            "repro_scheduler_budget_capped_total",
+            "admissions deferred because the step token budget was full",
+            **labels)
 
     def plan(self, running: list[StreamState], waiting: int,
              budget: int | None = None,
@@ -129,9 +149,14 @@ class StepPlanner:
         plan.admit_slots = max(0, min(free, waiting))
         # every surviving resident decodes one token this step
         plan.step_tokens = len(running) - len(victims)
+        slot_admits = plan.admit_slots
         plan.admit_slots, admit_tokens = self._token_budget_cap(
             plan.admit_slots, plan.step_tokens, waiting_tokens)
         plan.step_tokens += admit_tokens
+        self._m_plans.inc()
+        self._m_step_tokens.observe(plan.step_tokens)
+        if slot_admits > plan.admit_slots:
+            self._m_budget_capped.inc(slot_admits - plan.admit_slots)
         return plan
 
     def _token_budget_cap(self, admit_slots: int, decode_tokens: int,
@@ -198,6 +223,28 @@ class SLOAdmission:
     step_time: float = 1e-3            # estimated seconds per step
     smoothing: float = 0.25            # EWMA weight for observed steps
 
+    # metric handles; no-ops unless bind_metrics() swaps in live ones.
+    # Class attributes, not fields, so dataclasses.replace() clones
+    # (one SLOAdmission per tier replica) start unbound.
+    _m_admitted = NULL_METRIC
+    _m_shed = NULL_METRIC
+    _m_predicted_ttft = NULL_METRIC
+
+    def bind_metrics(self, registry, labels: dict | None = None) -> None:
+        """Publish admission verdicts + predicted TTFT into a registry."""
+        labels = labels or {}
+        registry = as_registry(registry)
+        self._m_admitted = registry.counter(
+            "repro_slo_admitted_total",
+            "requests the SLO admission gate let through", **labels)
+        self._m_shed = registry.counter(
+            "repro_slo_shed_total",
+            "requests shed because the SLO target was unattainable",
+            **labels)
+        self._m_predicted_ttft = registry.histogram(
+            "repro_slo_predicted_ttft_seconds",
+            "predicted TTFT at admission time", **labels)
+
     def __post_init__(self):
         if self.ttft_target is not None and self.ttft_target <= 0:
             raise ValueError("ttft_target must be > 0 (or None)")
@@ -228,13 +275,17 @@ class SLOAdmission:
         ``backlog_tokens`` tokens."""
         if (stream and self.tbt_target is not None
                 and self.step_time > self.tbt_target):
+            self._m_shed.inc()
             return (f"TBT SLO {self.tbt_target:.4f}s unattainable: one "
                     f"step takes ~{self.step_time:.4f}s")
         if self.ttft_target is not None:
             predicted = self.predicted_ttft(backlog_tokens,
                                             tokens_per_step)
+            self._m_predicted_ttft.observe(predicted)
             if predicted > self.ttft_target:
+                self._m_shed.inc()
                 return (f"TTFT SLO {self.ttft_target:.4f}s unattainable:"
                         f" ~{predicted:.4f}s predicted behind "
                         f"{backlog_tokens} backlog tokens")
+        self._m_admitted.inc()
         return None

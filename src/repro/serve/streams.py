@@ -140,10 +140,15 @@ class KVSlotBuffer:
     row attends only over its own left-aligned history — so slot moves
     and batch-row order are invisible to outputs, masks, and hardware
     records.
+
+    ``counters`` optionally mirrors slot churn into live metrics: a
+    mapping with ``"admit"``/``"evict"``/``"swap_out"`` values
+    exposing ``inc()`` (the serving engine binds
+    ``repro_kv_slot_events_total`` series and hands them in).
     """
 
     def __init__(self, slots: int, num_blocks: int, heads: int,
-                 head_dim: int, capacity: int):
+                 head_dim: int, capacity: int, counters=None):
         self.capacity = capacity
         self._k = [np.zeros((slots, heads, capacity, head_dim))
                    for _ in range(num_blocks)]
@@ -152,6 +157,7 @@ class KVSlotBuffer:
         self._lengths = np.zeros(slots, dtype=np.int64)
         self._capacities = np.zeros(slots, dtype=np.int64)
         self.streams: list[StreamState] = []
+        self.counters = counters
 
     def __len__(self) -> int:
         return len(self.streams)
@@ -182,6 +188,8 @@ class KVSlotBuffer:
         stream.steps_since_admit = 0
         stream.caches = None             # the slot is the KV home now
         self.streams.append(stream)
+        if self.counters is not None:
+            self.counters["admit"].inc()
         return slot
 
     def evict(self, stream: StreamState) -> None:
@@ -214,6 +222,8 @@ class KVSlotBuffer:
         self._capacities[last] = 0
         self.streams.pop()
         stream.slot = None
+        if self.counters is not None:
+            self.counters["evict"].inc()
 
     def swap_out(self, stream: StreamState) -> None:
         """Preempt: copy the stream's rows (trimmed to its length) back
@@ -227,6 +237,8 @@ class KVSlotBuffer:
             for block in range(len(self._k))]
         stream.preemptions += 1
         self.evict(stream)
+        if self.counters is not None:
+            self.counters["swap_out"].inc()
 
     def batch(self) -> list[dict]:
         """Scatter-protocol views over the occupied prefix for

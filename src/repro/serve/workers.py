@@ -61,10 +61,13 @@ class WorkerTier:
         snapshot at ``directory`` — shared-nothing by construction
         (independent weights arrays, caches, and queues).
         ``engine_kwargs`` (``continuous=``, ``step_token_budget=``,
-        ``slo=``, ``estimate_hardware=``, ...) configure every worker's
+        ``slo=``, ``estimate_hardware=``, ``registry=``, ``tracer=``,
+        ...) configure every worker's
         :class:`~repro.serve.engine.ServingEngine` identically; pass a
         fresh :class:`~repro.serve.scheduler.SLOAdmission` per tier, it
-        is copied per worker so EWMA refinement stays per-replica."""
+        is copied per worker so EWMA refinement stays per-replica.
+        Workers are named ``worker0..N-1`` (their metric label and
+        trace track), so don't pass ``name=``."""
         from dataclasses import replace
 
         from ..core import PrunedInferenceEngine
@@ -72,13 +75,14 @@ class WorkerTier:
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
         slo = engine_kwargs.pop("slo", None)
+        engine_kwargs.pop("name", None)
         workers = []
-        for _ in range(replicas):
+        for index in range(replicas):
             core = PrunedInferenceEngine.from_directory(directory)
             workers.append(ServingEngine(
                 core, policy=policy, clock=clock,
                 slo=replace(slo) if slo is not None else None,
-                **engine_kwargs))
+                name=f"worker{index}", **engine_kwargs))
         return cls(workers, clock=clock)
 
     # -- routing --------------------------------------------------------
@@ -192,14 +196,40 @@ class WorkerTier:
                 for name, engine in self.engines.items()}
 
     def stats_summary(self) -> dict[str, dict]:
-        """Per-worker rollup mirroring the router's ``--stats`` shape:
-        terminal-reason counts, shed/error tallies, and the load signal
-        the tier routes on."""
-        return {name: {
-            "completed": engine.stats.completed,
-            "reasons": dict(engine.stats.reasons),
-            "shed": engine.stats.shed,
-            "errors": engine.stats.errors,
-            "preemptions": engine.stats.preemptions,
-            "outstanding_tokens": engine.outstanding_tokens(),
-        } for name, engine in self.engines.items()}
+        """Tier-level rollup plus the per-worker breakdown.
+
+        ``{"tier": {...}, "workers": {"worker0": {...}, ...}}`` — the
+        tier entry aggregates terminal-reason counts and the
+        reliability tallies across every replica (the numbers
+        ``python -m repro.serve --stats --replicas N`` prints), and
+        each worker row adds its live load signals and a coarse
+        ``health`` verdict (``ok`` until the worker has contained
+        forward errors, then ``erroring``)."""
+        tier = {"replicas": len(self.workers), "completed": 0,
+                "reasons": {}, "shed": 0, "errors": 0, "retries": 0,
+                "preemptions": 0, "outstanding_tokens": 0,
+                "kv_slots_in_use": 0, "queue_depth": 0}
+        workers = {}
+        for name, engine in self.engines.items():
+            stats = engine.stats
+            row = {
+                "health": "erroring" if stats.errors else "ok",
+                "completed": stats.completed,
+                "reasons": dict(stats.reasons),
+                "shed": stats.shed,
+                "errors": stats.errors,
+                "retries": stats.retries,
+                "preemptions": stats.preemptions,
+                "outstanding_tokens": engine.outstanding_tokens(),
+                "kv_slots_in_use": engine.kv_slots_in_use(),
+                "queue_depth": engine.queue_depth(),
+            }
+            workers[name] = row
+            for reason, count in row["reasons"].items():
+                tier["reasons"][reason] = (tier["reasons"].get(reason, 0)
+                                           + count)
+            for key in ("completed", "shed", "errors", "retries",
+                        "preemptions", "outstanding_tokens",
+                        "kv_slots_in_use", "queue_depth"):
+                tier[key] += row[key]
+        return {"tier": tier, "workers": workers}

@@ -13,8 +13,9 @@ import numpy as np
 import pytest
 
 from repro.core import PrunedInferenceEngine
-from repro.serve import (BatchPolicy, REASON_OK, REASON_SHED,
-                         ServingEngine, ShedOverload, WorkerTier)
+from repro.serve import (BatchPolicy, REASON_CANCELLED, REASON_OK,
+                         REASON_SHED, ServingEngine, ShedOverload,
+                         WorkerTier)
 from repro.serve.loadgen import (LoadReport, TraceSpec, VirtualClock,
                                  replay_trace)
 from repro.serve.scheduler import (SchedulerConfig, SLOAdmission,
@@ -226,10 +227,18 @@ def test_tier_surface(snapshot):
     tier.step()
     assert not tier.result(stream).ok
     summary = tier.stats_summary()
-    assert set(summary) == {"worker0", "worker1"}
-    for row in summary.values():
-        assert {"completed", "reasons", "shed", "errors",
-                "preemptions", "outstanding_tokens"} <= set(row)
+    assert set(summary) == {"tier", "workers"}
+    assert set(summary["workers"]) == {"worker0", "worker1"}
+    for row in summary["workers"].values():
+        assert {"health", "completed", "reasons", "shed", "errors",
+                "preemptions", "outstanding_tokens",
+                "kv_slots_in_use", "queue_depth"} <= set(row)
+        assert row["health"] == "ok"
+    tier_row = summary["tier"]
+    assert tier_row["replicas"] == 2
+    assert tier_row["completed"] == sum(
+        row["completed"] for row in summary["workers"].values())
+    assert tier_row["reasons"][REASON_CANCELLED] == 1
 
 
 # ---------------------------------------------------------------------------
@@ -364,8 +373,7 @@ def test_slo_shedding_under_burst_keeps_survivors_in_target(snapshot):
         # queueing the whole burst into collapse
         if outcome.ok:
             assert outcome.ttft <= 2 * target
-    assert sum(summary["shed"]
-               for summary in tier.stats_summary().values()) \
+    assert tier.stats_summary()["tier"]["shed"] \
         == report.reasons[REASON_SHED]
 
 
