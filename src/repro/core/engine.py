@@ -4,11 +4,87 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 from dataclasses import asdict, dataclass, is_dataclass
 
 import numpy as np
 
 from ..tensor import no_grad
+
+#: (sidecar path, npz stamp) -> {name: read-only memmap array}.  A second
+#: mmap-open of the same snapshot in one process reuses the *same* mapped
+#: arrays (so N same-process replicas add ~zero RSS); across processes
+#: the page cache shares the file pages instead.
+_MMAP_CACHE: dict = {}
+
+
+def _npz_stamp(npz_path: str) -> list:
+    """Freshness stamp of the weights archive: (mtime_ns, size).  The
+    sidecar manifest records it so a re-saved snapshot invalidates any
+    previously expanded ``weights_mmap/`` directory."""
+    stat = os.stat(npz_path)
+    return [stat.st_mtime_ns, stat.st_size]
+
+
+def ensure_mmap_weights(directory: str) -> str:
+    """Expand ``weights.npz`` into a ``weights_mmap/`` sidecar of raw
+    per-array ``.npy`` files and return its path.
+
+    ``np.load(..., mmap_mode="r")`` silently ignores the mmap request
+    for ``.npz`` archives (zip members are not page-alignable), so real
+    zero-copy loading needs each array as its own ``.npy`` file.  The
+    expansion is done once per snapshot: a ``manifest.json`` records
+    the npz stamp, and a stale or missing sidecar is rebuilt in a temp
+    directory and published with an atomic rename, so concurrent
+    openers (N worker processes booting at once) never observe a
+    half-written file — the loser of the race just keeps the winner's
+    sidecar."""
+    npz = os.path.join(directory, "weights.npz")
+    sidecar = os.path.join(directory, "weights_mmap")
+    manifest_path = os.path.join(sidecar, "manifest.json")
+    stamp = _npz_stamp(npz)
+    try:
+        with open(manifest_path) as fh:
+            if json.load(fh).get("stamp") == stamp:
+                return sidecar
+    except (OSError, ValueError):
+        pass
+    tmp = f"{sidecar}.tmp.{os.getpid()}"
+    os.makedirs(tmp, exist_ok=True)
+    arrays = {}
+    with np.load(npz) as state:
+        for index, name in enumerate(state.files):
+            filename = f"arr{index}.npy"
+            np.save(os.path.join(tmp, filename), state[name])
+            arrays[name] = filename
+    with open(os.path.join(tmp, "manifest.json"), "w") as fh:
+        json.dump({"stamp": stamp, "arrays": arrays}, fh)
+    if os.path.isdir(sidecar):              # stale: replace wholesale
+        shutil.rmtree(sidecar, ignore_errors=True)
+    try:
+        os.rename(tmp, sidecar)
+    except OSError:
+        # a concurrent expander published first; trust its sidecar
+        shutil.rmtree(tmp, ignore_errors=True)
+    return sidecar
+
+
+def load_mmap_state(directory: str) -> dict:
+    """Read-only memory-mapped ``{name: array}`` view of a snapshot's
+    weights (expanding the sidecar on first use).  Arrays are cached
+    per (sidecar, stamp), so repeat opens in one process return the
+    very same mappings instead of new page-table entries."""
+    sidecar = ensure_mmap_weights(directory)
+    with open(os.path.join(sidecar, "manifest.json")) as fh:
+        manifest = json.load(fh)
+    key = (os.path.abspath(sidecar), tuple(manifest["stamp"]))
+    state = _MMAP_CACHE.get(key)
+    if state is None:
+        state = {name: np.load(os.path.join(sidecar, filename),
+                               mmap_mode="r")
+                 for name, filename in manifest["arrays"].items()}
+        _MMAP_CACHE[key] = state
+    return state
 
 
 def _model_registry() -> dict:
@@ -113,10 +189,15 @@ class PrunedInferenceEngine:
             return json.load(fh)
 
     @classmethod
-    def from_directory(cls, directory: str) -> "PrunedInferenceEngine":
+    def from_directory(cls, directory: str,
+                       mmap: bool = False) -> "PrunedInferenceEngine":
         """Rebuild a saved engine with no pre-built model: reconstruct
         the architecture from ``engine.json``'s recorded model config,
-        attach a fresh controller, then restore weights + thresholds."""
+        attach a fresh controller, then restore weights + thresholds.
+        ``mmap=True`` memory-maps the weights read-only instead of
+        copying them into the heap — N replicas (threads or forked
+        worker processes) of one snapshot then share a single set of
+        page-cache pages instead of N weight copies."""
         from .soft_threshold import SurrogateL0Config
 
         meta = cls.read_metadata(directory)
@@ -135,17 +216,23 @@ class PrunedInferenceEngine:
         controller = model.make_controller(l0_config=SurrogateL0Config(
             weight=meta.get("l0_weight", SurrogateL0Config().weight)))
         engine = cls(model, controller)
-        engine.load(directory)
+        engine.load(directory, mmap=mmap)
         return engine
 
-    def load(self, directory: str) -> None:
+    def load(self, directory: str, mmap: bool = False) -> None:
         """Restore a saved engine in place: model weights, learned
-        thresholds and the soft-gate sharpness."""
+        thresholds and the soft-gate sharpness.  With ``mmap=True`` the
+        weights stay read-only views over the ``weights_mmap/`` sidecar
+        (see :func:`ensure_mmap_weights`) — zero-copy, shared across
+        every open of the same snapshot."""
         from .soft_threshold import SoftThresholdConfig
 
         meta = self.read_metadata(directory)
-        state = np.load(os.path.join(directory, "weights.npz"))
-        self.model.load_state_dict({k: state[k] for k in state.files})
+        if mmap:
+            self.model.load_state_dict(load_mmap_state(directory))
+        else:
+            state = np.load(os.path.join(directory, "weights.npz"))
+            self.model.load_state_dict({k: state[k] for k in state.files})
         self.controller.set_threshold_values(np.array(meta["thresholds"]))
         self.controller.soft_config = SoftThresholdConfig(
             sharpness=meta["soft_sharpness"])

@@ -226,6 +226,41 @@ class MetricsRegistry:
                          "series": rows}
         return out
 
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The intended use is fleet aggregation: each worker process
+        ships its own registry's snapshot back with every step reply,
+        and the parent merges them so one ``/metrics`` endpoint covers
+        the whole tier.  Worker series are engine-labeled
+        (``engine="worker0"``...), hence disjoint from the parent's own
+        series — so merge semantics are *replace with the latest
+        value*: counters and gauges overwrite, and histograms rebuild
+        their bucket counts from the snapshot (the overflow bucket is
+        reconstructed as ``count - sum(bounded buckets)``, since
+        snapshots carry only the bounded bucket dict)."""
+        for name, family in snapshot.items():
+            kind, help = family["kind"], family["help"]
+            for row in family["series"]:
+                labels, value = row["labels"], row["value"]
+                if kind == "counter":
+                    self.counter(name, help, **labels).value = value
+                elif kind == "gauge":
+                    self.gauge(name, help, **labels).value = value
+                elif kind == "histogram":
+                    bounds = tuple(value["buckets"])
+                    metric = self.histogram(name, help, buckets=bounds,
+                                            **labels)
+                    counts = [value["buckets"][bound]
+                              for bound in metric.bounds]
+                    counts.append(value["count"] - sum(counts))
+                    metric.counts = counts
+                    metric.sum = value["sum"]
+                    metric.count = value["count"]
+                else:
+                    raise ValueError(
+                        f"cannot merge metric kind {kind!r} ({name!r})")
+
     def exposition(self) -> str:
         """Prometheus text format (version 0.0.4) of the whole registry."""
         lines = []
@@ -295,6 +330,9 @@ class NullRegistry:
 
     def snapshot(self):
         return {}
+
+    def merge_snapshot(self, snapshot):
+        pass
 
     def exposition(self):
         return ""

@@ -67,6 +67,32 @@ class TraceRecorder:
             event["args"] = args
         self.events.append(event)
 
+    def merge_events(self, events: list, mapping: dict | None = None
+                     ) -> dict:
+        """Append another recorder's events, remapping its pid
+        numbering into this recorder's track table.
+
+        Worker processes ship the events they recorded since the last
+        step reply; their recorders hand out pids in their *own*
+        first-seen order, so each ``process_name`` metadata event is
+        translated through :meth:`track` (get-or-assign here) and every
+        other event's pid rewritten.  ``mapping`` carries the
+        worker-pid -> parent-pid table across incremental merges (the
+        metadata event only appears in the first delta); pass the
+        returned dict back on the next call.  Pid 0 (no track) passes
+        through unchanged."""
+        mapping = {} if mapping is None else mapping
+        for event in events:
+            if (event.get("ph") == "M"
+                    and event.get("name") == "process_name"):
+                mapping[event["pid"]] = self.track(event["args"]["name"])
+                continue
+            merged = dict(event)
+            pid = event.get("pid", 0)
+            merged["pid"] = mapping.get(pid, pid)
+            self.events.append(merged)
+        return mapping
+
     def clear(self) -> None:
         self.events.clear()
         self._tracks.clear()
@@ -98,6 +124,9 @@ class NullTracer:
 
     def complete(self, name, ts, dur, pid=0, tid=0, **args):
         pass
+
+    def merge_events(self, events, mapping=None):
+        return {} if mapping is None else mapping
 
     def clear(self):
         pass

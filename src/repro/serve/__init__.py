@@ -3,7 +3,9 @@ per-stream KV caches in front of ``PrunedInferenceEngine``; stream
 scheduling is round-based or continuous (``continuous=True``),
 ``ModelRouter`` fronts several engines behind one queue discipline
 with health-checked routing, ``WorkerTier`` scales one model across
-shared-nothing engine replicas, and the reliability layer adds
+shared-nothing engine replicas (``ProcessWorkerTier`` puts each
+replica in its own OS process over a binary socket protocol, sharing
+one memory-mapped snapshot), and the reliability layer adds
 deadlines/cancellation, typed terminal reason codes, admission
 control (token backlog + TTFT/TBT SLO prediction), and deterministic
 fault injection (``FaultPlan``).  ``repro.serve.loadgen`` drives it
@@ -19,6 +21,7 @@ from .engine import (DeadlineExceeded, REASON_CANCELLED, REASON_DEADLINE,
 from .faults import Fault, FaultPlan, InjectedKernelError
 from .hardware import HardwareTotals, slice_record
 from .health import EngineHealth, HealthPolicy
+from .procworkers import ProcessWorkerTier, WorkerDied
 from .router import (EngineQuarantined, ModelRouter, UnknownModelError)
 from .scheduler import SchedulerConfig, SLOAdmission, StepPlan, \
     StepPlanner
@@ -42,6 +45,7 @@ __all__ = ["AsyncServingEngine", "BatchPolicy", "CoalescedBatch",
            "EngineQuarantined", "UnknownModelError",
            # load generation & SLOs
            "RequestTiming", "SLOAdmission", "WorkerTier",
+           "ProcessWorkerTier", "WorkerDied",
            "TraceSpec", "TraceRequest", "VirtualClock", "replay_trace",
            "LoadReport", "RequestOutcome"]
 

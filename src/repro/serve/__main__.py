@@ -40,13 +40,17 @@ def build_classifier_engine(seed: int = 0) -> PrunedInferenceEngine:
     return PrunedInferenceEngine(model, controller)
 
 
-def build_lm_engine(seed: int = 0,
-                    max_seq_len: int = 32) -> PrunedInferenceEngine:
+def build_lm_engine(seed: int = 0, max_seq_len: int = 32,
+                    dim: int = 32,
+                    num_layers: int = 2) -> PrunedInferenceEngine:
+    """Toy causal LM engine; ``dim``/``num_layers`` scale the model so
+    throughput benchmarks can make each forward expensive enough to
+    dominate scheduling overhead."""
     model = TransformerLM(LMConfig(
-        vocab_size=64, max_seq_len=max_seq_len, dim=32, num_heads=2,
-        num_layers=2, seed=seed))
+        vocab_size=64, max_seq_len=max_seq_len, dim=dim, num_heads=2,
+        num_layers=num_layers, seed=seed))
     controller = model.make_controller()
-    controller.set_threshold_values(np.zeros(2))
+    controller.set_threshold_values(np.zeros(num_layers))
     return PrunedInferenceEngine(model, controller)
 
 
@@ -210,6 +214,52 @@ def tier_demo(args, directory: str, hw_config) -> None:
                                health=row["health"])
 
 
+def proc_tier_demo(args, directory: str, hw_config) -> None:
+    from .procworkers import ProcessWorkerTier
+
+    print(f"== multi-process worker tier ({args.procs} worker "
+          "processes, shared mmap snapshot, least-loaded routing) ==")
+    tier = ProcessWorkerTier.from_snapshot(
+        directory, replicas=args.procs,
+        policy=BatchPolicy(max_batch_size=args.max_batch_size,
+                           max_wait=args.max_wait),
+        estimate_hardware=True, hw_config=hw_config,
+        continuous=args.continuous, preempt_after=args.preempt_after,
+        registry=args.obs_registry, tracer=args.obs_tracer)
+    try:
+        rng = np.random.default_rng(args.seed)
+        prompt_cap = max(2, min(9, tier._capacity // 2))
+        ids = [tier.open_stream(
+                   rng.integers(1, 64, size=int(length)),
+                   max_new_tokens=args.new_tokens)
+               for length in rng.integers(1, prompt_cap,
+                                          size=args.streams)]
+        tier.drain()
+        for stream_id in ids:
+            result = tier.finish(stream_id)
+            hw = result.hardware
+            print(f"  stream {stream_id}: {len(result.tokens)} tokens  "
+                  f"{hw.runtime_ns:8.1f} ns "
+                  f"({hw.speedup_vs_baseline:.2f}x, kernel "
+                  f"{hw.kernel_backend})")
+        summary = tier.stats_summary()
+        tier_row = summary["tier"]
+        reasons = ", ".join(f"{reason}={count}" for reason, count
+                            in sorted(tier_row["reasons"].items()))
+        print(f"  -> tier: {tier_row['completed']} terminal across "
+              f"{tier_row['replicas']} worker processes "
+              f"({reasons or 'none'}); shed={tier_row['shed']} "
+              f"errors={tier_row['errors']}")
+        for name, row in summary["workers"].items():
+            print(f"  -> {name}: {row['completed']} served, "
+                  f"health={row['health']}")
+            if args.stats:
+                print_reason_stats(name, tier.stats[name],
+                                   health=row["health"])
+    finally:
+        tier.close()
+
+
 def router_demo(args, engines: dict[str, PrunedInferenceEngine],
                 hw_config) -> None:
     print(f"== multi-model router ({len(engines)} engines, shared "
@@ -305,6 +355,11 @@ def main(argv=None) -> None:
                              "shared-nothing WorkerTier of N engine "
                              "replicas (each rebuilt from the same "
                              "snapshot) instead of one engine")
+    parser.add_argument("--procs", type=int, default=None,
+                        metavar="N",
+                        help="like --replicas but each replica runs in "
+                             "its own OS process (ProcessWorkerTier), "
+                             "all memory-mapping one shared snapshot")
     parser.add_argument("--stats", action="store_true",
                         help="print per-engine terminal-reason counters "
                              "(and circuit-breaker states under the "
@@ -345,9 +400,16 @@ def main(argv=None) -> None:
                      "at least two --engine-dir snapshots")
     if args.replicas < 1:
         parser.error("--replicas must be >= 1")
-    if args.replicas > 1 and len(args.engine_dir or []) > 1:
-        parser.error("--replicas scales one snapshot; mount at most "
-                     "one --engine-dir")
+    if args.procs is not None:
+        if args.procs < 1:
+            parser.error("--procs must be >= 1")
+        if args.replicas > 1:
+            parser.error("--procs and --replicas are alternatives: "
+                         "pick in-process replicas or worker processes")
+    if ((args.replicas > 1 or args.procs is not None)
+            and len(args.engine_dir or []) > 1):
+        parser.error("--replicas/--procs scale one snapshot; mount at "
+                     "most one --engine-dir")
 
     # observability surfaces are opt-in: without these flags every
     # engine binds no-op handles and the demo runs uninstrumented
@@ -383,7 +445,7 @@ def main(argv=None) -> None:
 
 
 def _dispatch(args, hw_config) -> None:
-    if args.replicas > 1:
+    if args.replicas > 1 or args.procs is not None:
         import tempfile
         with tempfile.TemporaryDirectory() as scratch:
             if args.engine_dir:
@@ -393,7 +455,10 @@ def _dispatch(args, hw_config) -> None:
             else:
                 directory = scratch
                 build_lm_engine(args.seed).save(directory)
-            tier_demo(args, directory, hw_config)
+            if args.procs is not None:
+                proc_tier_demo(args, directory, hw_config)
+            else:
+                tier_demo(args, directory, hw_config)
         return
 
     if args.engine_dir:

@@ -55,23 +55,51 @@ class BatchPolicy:
     ``pad_to``) and only coalesces with requests of the same bucket,
     so short requests stop paying the full-width padding tax without
     giving up bit-stability.
+    ``bucket_batch_sizes``: optional per-bucket flush sizes, one per
+    ladder entry (matched to ``buckets`` by position, kept paired when
+    the ladder is sorted).  A wide bucket can then cap its batches
+    small — bounding the tokens one flush pushes through the model —
+    while narrow buckets still coalesce deep.  Buckets without an
+    entry (and the ``pad_to`` fallback bucket) use ``max_batch_size``.
     """
 
     max_batch_size: int = 8
     max_wait: float = 0.002
     pad_to: int | None = None
     buckets: tuple[int, ...] | None = None
+    bucket_batch_sizes: tuple[int, ...] | None = None
 
     def __post_init__(self):
         if self.max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if self.max_wait < 0:
             raise ValueError("max_wait must be >= 0")
+        if self.bucket_batch_sizes is not None and self.buckets is None:
+            raise ValueError("bucket_batch_sizes needs a bucket ladder")
         if self.buckets is not None:
-            object.__setattr__(self, "buckets",
-                               tuple(sorted(set(self.buckets))))
             if any(b < 1 for b in self.buckets):
                 raise ValueError("buckets must be positive widths")
+            if self.bucket_batch_sizes is None:
+                object.__setattr__(self, "buckets",
+                                   tuple(sorted(set(self.buckets))))
+            else:
+                if len(self.bucket_batch_sizes) != len(self.buckets):
+                    raise ValueError(
+                        "bucket_batch_sizes must pair one size per "
+                        f"bucket: {len(self.bucket_batch_sizes)} sizes "
+                        f"for {len(self.buckets)} buckets")
+                if any(s < 1 for s in self.bucket_batch_sizes):
+                    raise ValueError("bucket batch sizes must be >= 1")
+                pairs = sorted(zip(self.buckets,
+                                   self.bucket_batch_sizes))
+                widths = tuple(w for w, _ in pairs)
+                if len(set(widths)) != len(widths):
+                    raise ValueError("duplicate bucket widths are "
+                                     "ambiguous with per-bucket batch "
+                                     "sizes")
+                object.__setattr__(self, "buckets", widths)
+                object.__setattr__(self, "bucket_batch_sizes",
+                                   tuple(s for _, s in pairs))
 
     def bucket_for(self, length: int, pad_to: int) -> int:
         """The fixed pad width a request of ``length`` is served at."""
@@ -80,6 +108,18 @@ class BatchPolicy:
                 if length <= bucket <= pad_to:
                     return bucket
         return pad_to
+
+    def batch_size_for(self, bucket: int) -> int:
+        """The flush size of one bucket's queue: its ladder entry in
+        ``bucket_batch_sizes`` when configured, else the global
+        ``max_batch_size`` (which also covers the ``pad_to`` fallback
+        bucket)."""
+        if self.buckets is not None and self.bucket_batch_sizes is not None:
+            for width, size in zip(self.buckets,
+                                   self.bucket_batch_sizes):
+                if width == bucket:
+                    return size
+        return self.max_batch_size
 
     @classmethod
     def ladder_options(cls, lengths, max_buckets: int = 4,
@@ -164,6 +204,7 @@ class BatchPolicy:
 
     @classmethod
     def from_observed(cls, lengths, max_buckets: int = 4,
+                      max_batch_tokens: int | None = None,
                       **kwargs) -> "BatchPolicy":
         """Auto-tune the bucket ladder from an observed request-length
         distribution.
@@ -176,6 +217,13 @@ class BatchPolicy:
         bucket per length.  Remaining ``BatchPolicy`` fields pass
         through ``kwargs`` (``max_batch_size`` also shapes the slot
         costs).
+
+        ``max_batch_tokens`` additionally derives per-bucket flush
+        sizes: each bucket's batch is capped at
+        ``clamp(max_batch_tokens // width, 1, max_batch_size)``, so
+        every flush pushes roughly the same padded-token volume
+        through the model no matter which bucket it came from (wide
+        buckets flush shallow, narrow buckets flush deep).
         """
         options = cls.ladder_options(
             lengths, max_buckets=max_buckets,
@@ -183,6 +231,14 @@ class BatchPolicy:
         winner = min(options, key=lambda o: (o.served_slots,
                                              len(o.buckets),
                                              o.padded_tokens))
+        if max_batch_tokens is not None:
+            if max_batch_tokens < 1:
+                raise ValueError("max_batch_tokens must be >= 1")
+            size = kwargs.get("max_batch_size", cls.max_batch_size)
+            sizes = tuple(max(1, min(size, max_batch_tokens // width))
+                          for width in winner.buckets)
+            return cls(buckets=winner.buckets,
+                       bucket_batch_sizes=sizes, **kwargs)
         return cls(buckets=winner.buckets, **kwargs)
 
 
@@ -329,7 +385,7 @@ class DynamicBatcher:
         for bucket, queue in self._queues.items():
             if not queue:
                 continue
-            due = (len(queue) >= self.policy.max_batch_size
+            due = (len(queue) >= self.policy.batch_size_for(bucket)
                    or now >= queue[0].arrival + self.policy.max_wait)
             if due and (best is None or queue[0].arrival < best_arrival):
                 best, best_arrival = bucket, queue[0].arrival
@@ -345,8 +401,9 @@ class DynamicBatcher:
 
     def pop(self, now: float | None = None
             ) -> tuple[int, list[QueuedRequest]]:
-        """Dequeue up to ``max_batch_size`` oldest requests from the
-        most urgent queue; returns (bucket width, requests)."""
+        """Dequeue up to the bucket's flush size (``batch_size_for``)
+        oldest requests from the most urgent queue; returns
+        (bucket width, requests)."""
         bucket = None
         if now is not None:
             bucket = self._ready_bucket(now)
@@ -355,8 +412,9 @@ class DynamicBatcher:
         if bucket is None:
             return self.pad_to, []
         queue = self._queues[bucket]
+        size = self.policy.batch_size_for(bucket)
         out = []
-        while queue and len(out) < self.policy.max_batch_size:
+        while queue and len(out) < size:
             out.append(queue.popleft())
         return bucket, out
 

@@ -385,7 +385,7 @@ class ServingEngine:
                 f"max_backlog_tokens={self._max_backlog}"))
         if self._slo is not None:
             verdict = self._slo.admit(backlog + tokens,
-                                      self._tokens_per_step(),
+                                      self.tokens_per_step(),
                                       stream=kind == "generate")
             if verdict is not None:
                 return self._shed(request_id, kind, ShedOverload(verdict))
@@ -399,10 +399,11 @@ class ServingEngine:
         self._instant.append(request_id)
         return False
 
-    def _tokens_per_step(self) -> int:
+    def tokens_per_step(self) -> int:
         """Rough per-step token throughput for SLO prediction: the
         token budget when planning with one, else the decode-slot
-        count."""
+        count.  Public because front doors (the model router's
+        admission gate) price backlog drain time with it."""
         if self._step_token_budget is not None:
             return self._step_token_budget
         if self._planner is not None:
@@ -723,16 +724,16 @@ class ServingEngine:
         """Peek at a finished request's result (None while pending)."""
         return self._results.get(request_id)
 
-    def finish(self, request_id: int) -> ServeResult:
-        """Collect a result and release all of its state (raising the
-        serve-time error, if the request failed).  Finishing a live
-        generation stream stops it early and evicts its caches."""
+    def collect(self, request_id: int) -> ServeResult:
+        """Collect a result and release all of its state *without*
+        raising its typed terminal error — the IPC worker surface:
+        process workers ship every result (ok or failed) back over the
+        socket and let the parent tier decide whether to raise.
+        Collecting a live generation stream stops it early and evicts
+        its caches, exactly like :meth:`finish`."""
         if request_id in self._results:
             self._streams.pop(request_id, None)
-            result = self._results.pop(request_id)
-            if result.error is not None:
-                raise result.error
-            return result
+            return self._results.pop(request_id)
         stream = self._streams.get(request_id)
         if stream is None:
             raise KeyError(f"unknown or still-queued request "
@@ -743,6 +744,15 @@ class ServingEngine:
         self._finalize_stream(stream)
         self._streams.pop(request_id, None)
         return self._results.pop(request_id)
+
+    def finish(self, request_id: int) -> ServeResult:
+        """Collect a result and release all of its state (raising the
+        serve-time error, if the request failed).  Finishing a live
+        generation stream stops it early and evicts its caches."""
+        result = self.collect(request_id)
+        if result.error is not None:
+            raise result.error
+        return result
 
     # -- internals ------------------------------------------------------
     def _allocate_id(self) -> int:

@@ -31,6 +31,13 @@ clock it measures real throughput for the CI SLO gate
 (``--check --max-ttft-p99 ... --min-tok-s ...``), publishing a
 ``BENCH_serving_slo.json`` artifact via
 :func:`~repro.eval.artifacts.record_bench`.
+
+``--procs N`` swaps the in-process tier for a
+:class:`~repro.serve.procworkers.ProcessWorkerTier` — one engine
+replica per OS process over a shared memory-mapped snapshot — and
+``--check --min-proc-speedup X`` gates its wall-clock tok/s against a
+same-trace in-process baseline (recorded to
+``BENCH_serving_procs.json``).
 """
 
 from __future__ import annotations
@@ -372,6 +379,24 @@ def main(argv=None) -> None:
                              "build the toy TransformerLM and snapshot "
                              "it to a temp dir)")
     parser.add_argument("--replicas", type=int, default=2)
+    parser.add_argument("--procs", type=int, default=None, metavar="N",
+                        help="serve through a ProcessWorkerTier of N "
+                             "worker processes (one engine replica per "
+                             "OS process, shared mmap snapshot) instead "
+                             "of the in-process WorkerTier")
+    parser.add_argument("--min-proc-speedup", type=float, default=None,
+                        metavar="X",
+                        help="with --procs and --check: also replay the "
+                             "trace on the in-process tier (--replicas "
+                             "workers, one process) and require the "
+                             "proc tier to sustain at least X times its "
+                             "tok/s (wall clock only)")
+    parser.add_argument("--dim", type=int, default=32,
+                        help="toy LM model width (default 32; raise it "
+                             "so each forward dominates IPC overhead "
+                             "in throughput benchmarks)")
+    parser.add_argument("--layers", type=int, default=2,
+                        help="toy LM transformer layers (default 2)")
     parser.add_argument("--requests", type=int, default=48)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--process", choices=["poisson", "bursty"],
@@ -415,6 +440,14 @@ def main(argv=None) -> None:
                              "trace-event JSON (open in Perfetto); "
                              "byte-identical across --virtual replays")
     args = parser.parse_args(argv)
+    if args.procs is not None and args.procs < 1:
+        parser.error("--procs must be >= 1")
+    if args.min_proc_speedup is not None:
+        if args.procs is None:
+            parser.error("--min-proc-speedup needs --procs")
+        if args.virtual:
+            parser.error("--min-proc-speedup measures wall-clock "
+                         "throughput; drop --virtual")
 
     registry = tracer = metrics_server = None
     if args.metrics_dump or args.metrics_port is not None:
@@ -430,19 +463,20 @@ def main(argv=None) -> None:
         print(f"[metrics] serving http://127.0.0.1:"
               f"{metrics_server.server_address[1]}/metrics")
 
+    baseline = None
     with tempfile.TemporaryDirectory() as scratch:
         directory = args.engine_dir
         if directory is None:
             directory = scratch
-            build_lm_engine(args.seed).save(directory)
+            build_lm_engine(args.seed, dim=args.dim,
+                            num_layers=args.layers).save(directory)
         clock = VirtualClock() if args.virtual else time.monotonic
         slo = (SLOAdmission(ttft_target=args.ttft_slo)
                if args.ttft_slo is not None else None)
-        tier = WorkerTier.from_snapshot(
-            directory, replicas=args.replicas,
-            policy=BatchPolicy(max_batch_size=args.max_batch_size,
-                               max_wait=0.0),
-            clock=clock, continuous=True,
+        policy = BatchPolicy(max_batch_size=args.max_batch_size,
+                             max_wait=0.0)
+        tier_kwargs = dict(
+            policy=policy, clock=clock, continuous=True,
             step_token_budget=args.step_token_budget, slo=slo,
             registry=registry, tracer=tracer)
         trace = TraceSpec(
@@ -451,18 +485,61 @@ def main(argv=None) -> None:
             burst_rate=args.burst_rate,
             prompt_tokens=tuple(args.prompt_tokens),
             new_tokens=tuple(args.new_tokens))
-        report = replay_trace(tier, trace, clock=clock)
+        if args.procs is not None:
+            from .procworkers import ProcessWorkerTier
+            tier = ProcessWorkerTier.from_snapshot(
+                directory, replicas=args.procs, **tier_kwargs)
+            try:
+                report = replay_trace(tier, trace, clock=clock)
+            finally:
+                tier.close()
+        else:
+            tier = WorkerTier.from_snapshot(
+                directory, replicas=args.replicas, **tier_kwargs)
+            report = replay_trace(tier, trace, clock=clock)
+        if args.min_proc_speedup is not None:
+            # same trace, same policy, same replica count — one
+            # process, so the GIL serializes what the proc tier runs
+            # on real cores
+            base_tier = WorkerTier.from_snapshot(
+                directory, replicas=args.replicas, policy=policy,
+                clock=clock, continuous=True,
+                step_token_budget=args.step_token_budget,
+                slo=(SLOAdmission(ttft_target=args.ttft_slo)
+                     if args.ttft_slo is not None else None))
+            baseline = replay_trace(base_tier, trace, clock=clock)
 
-    label = (f"{args.process} x{args.replicas} replicas "
-             f"({'virtual' if args.virtual else 'wall'} clock)")
+    if args.procs is not None:
+        label = (f"{args.process} x{args.procs} worker processes "
+                 f"({'virtual' if args.virtual else 'wall'} clock)")
+    else:
+        label = (f"{args.process} x{args.replicas} replicas "
+                 f"({'virtual' if args.virtual else 'wall'} clock)")
     print_report(report, label)
-    path = record_bench("serving_slo", report.metrics(), context={
-        "replicas": args.replicas, "process": args.process,
+    context = {
+        "replicas": args.replicas, "procs": args.procs,
+        "process": args.process,
         "seed": args.seed, "requests": args.requests,
         "rate": args.rate, "burst_rate": args.burst_rate,
         "step_token_budget": args.step_token_budget,
+        "dim": args.dim, "layers": args.layers,
         "clock": "virtual" if args.virtual else "wall",
-        "python": sys.version.split()[0]})
+        "python": sys.version.split()[0]}
+    metrics = report.metrics()
+    bench_name = "serving_slo"
+    if args.procs is not None:
+        bench_name = "serving_procs"
+        if baseline is not None:
+            print_report(baseline,
+                         f"{args.process} x{args.replicas} in-process "
+                         "replicas (baseline)")
+            speedup = report.tok_s / max(baseline.tok_s, 1e-12)
+            print(f"  [procs] {report.tok_s:.1f} tok/s over "
+                  f"{baseline.tok_s:.1f} tok/s in-process -> "
+                  f"{speedup:.2f}x")
+            metrics["baseline_tok_s"] = baseline.tok_s
+            metrics["proc_speedup"] = speedup
+    path = record_bench(bench_name, metrics, context=context)
     if path:
         print(f"  [bench] recorded -> {path}")
     if tracer is not None:
@@ -479,6 +556,12 @@ def main(argv=None) -> None:
         report.check(max_ttft_p99=args.max_ttft_p99,
                      min_tok_s=args.min_tok_s,
                      max_tbt_p99=args.max_tbt_p99)
+        if args.min_proc_speedup is not None and baseline is not None:
+            speedup = report.tok_s / max(baseline.tok_s, 1e-12)
+            if speedup < args.min_proc_speedup:
+                raise SystemExit(
+                    f"SLO check failed: proc_speedup {speedup:.2f} < "
+                    f"{args.min_proc_speedup}")
         print("  [check] SLOs met")
 
 

@@ -36,8 +36,10 @@ import time
 import numpy as np
 
 from ..obs.metrics import as_registry
-from .engine import (REASON_ERROR, ServeResult, ServingEngine)
+from .engine import (REASON_ERROR, REASON_SHED, RequestTiming,
+                     ServeResult, ServingEngine, ShedOverload)
 from .health import EngineHealth, HealthPolicy
+from .scheduler import SLOAdmission
 
 _BREAKER_LEVELS = {"healthy": 0, "degraded": 1, "quarantined": 2}
 
@@ -72,12 +74,22 @@ class ModelRouter:
                  clock=time.monotonic,
                  health: HealthPolicy | None = None,
                  fallbacks: dict[str, str] | None = None,
+                 admission: SLOAdmission | None = None,
                  registry=None):
+        """``admission`` (an :class:`~repro.serve.scheduler
+        .SLOAdmission`) moves SLO shedding to the front door: the
+        router prices every submission against the *target* engine's
+        backlog before enqueueing and sheds hopeless work itself with
+        a typed ``shed_overload`` result — the engine never sees it,
+        so shed decisions are made once, centrally, instead of
+        per-engine.  One shared instance covers all mounted models
+        (its step-time EWMA refines from router step durations)."""
         if not engines:
             raise ValueError("ModelRouter needs at least one engine")
         self.engines = dict(engines)
         self.step_budget = step_budget
         self._clock = clock
+        self._admission = admission
         self._routes: dict[int, tuple[str, int]] = {}
         self._next_id = 0
         self._turn = 0                   # rotating remainder pointer
@@ -106,6 +118,11 @@ class ModelRouter:
         self._m_rejected = self._registry.counter(
             "repro_router_fast_rejects_total",
             "submissions rejected because no healthy engine was mounted")
+        self._m_shed_front = self._registry.counter(
+            "repro_router_admission_shed_total",
+            "submissions shed at the router by SLO admission control")
+        if admission is not None:
+            admission.bind_metrics(self._registry, {"scope": "router"})
         self._breaker_seen = {name: "healthy" for name in engines}
         self.fallbacks = dict(fallbacks or {})
         for model, fallback in self.fallbacks.items():
@@ -168,6 +185,29 @@ class ModelRouter:
         self._instant.append(router_id)
         return router_id
 
+    def _shed_front(self, kind: str, verdict: str) -> int:
+        """Mint a router id whose result is a typed ``shed_overload``:
+        the admission gate judged the SLO unattainable, so the request
+        never reaches an engine queue."""
+        self._m_shed_front.inc()
+        router_id = self._next_id
+        self._next_id += 1
+        self._local[router_id] = ServeResult(
+            request_id=router_id, kind=kind, logits=np.zeros(0),
+            error=ShedOverload(verdict), reason=REASON_SHED)
+        self._instant.append(router_id)
+        return router_id
+
+    def _admit(self, engine: ServingEngine, tokens: int,
+               stream: bool) -> str | None:
+        """Front-door SLO check against the routed engine's backlog;
+        None admits, a reason string sheds."""
+        if self._admission is None:
+            return None
+        return self._admission.admit(
+            engine.backlog_tokens() + tokens, engine.tokens_per_step(),
+            stream=stream)
+
     def submit(self, inputs: np.ndarray, mask: np.ndarray | None = None,
                model: str | None = None, now: float | None = None,
                deadline: float | None = None,
@@ -176,6 +216,11 @@ class ModelRouter:
             name, engine = self._route_healthy(model)
         except EngineQuarantined as error:
             return self._reject("classify", error)
+        inputs = np.asarray(inputs)
+        tokens = int(inputs.shape[0]) if inputs.ndim else 1
+        verdict = self._admit(engine, tokens, stream=False)
+        if verdict is not None:
+            return self._shed_front("classify", verdict)
         now = self._clock() if now is None else now
         return self._track(name, engine.submit(
             inputs, mask, now=now, deadline=deadline, ttl=ttl))
@@ -189,6 +234,11 @@ class ModelRouter:
             name, engine = self._route_healthy(model)
         except EngineQuarantined as error:
             return self._reject("generate", error)
+        prompt = np.asarray(prompt)
+        tokens = int(prompt.size) + max(int(max_new_tokens), 0)
+        verdict = self._admit(engine, tokens, stream=True)
+        if verdict is not None:
+            return self._shed_front("generate", verdict)
         now = self._clock() if now is None else now
         return self._track(name, engine.open_stream(
             prompt, max_new_tokens, now=now, deadline=deadline, ttl=ttl))
@@ -366,6 +416,8 @@ class ModelRouter:
                     completed += self._quarantine(name, now, error)
             else:
                 health.record_success()
+        if self._admission is not None:
+            self._admission.observe_step(self._clock() - now)
         if self._registry.enabled:
             self._sync_breaker_metrics()
         return completed

@@ -35,6 +35,28 @@ from .batcher import BatchPolicy
 from .engine import ServeResult, ServingEngine
 
 
+def tier_rollup(workers: dict[str, dict]) -> dict[str, dict]:
+    """Aggregate per-worker stat rows into the tier summary shape
+    shared by :class:`WorkerTier` and
+    :class:`~repro.serve.procworkers.ProcessWorkerTier`:
+    ``{"tier": {...}, "workers": rows}`` where the tier entry sums the
+    terminal-reason counts, reliability tallies, and live load signals
+    across every replica row."""
+    tier = {"replicas": len(workers), "completed": 0,
+            "reasons": {}, "shed": 0, "errors": 0, "retries": 0,
+            "preemptions": 0, "outstanding_tokens": 0,
+            "kv_slots_in_use": 0, "queue_depth": 0}
+    for row in workers.values():
+        for reason, count in row["reasons"].items():
+            tier["reasons"][reason] = (tier["reasons"].get(reason, 0)
+                                       + count)
+        for key in ("completed", "shed", "errors", "retries",
+                    "preemptions", "outstanding_tokens",
+                    "kv_slots_in_use", "queue_depth"):
+            tier[key] += row[key]
+    return {"tier": tier, "workers": workers}
+
+
 class WorkerTier:
     """N shared-nothing engine replicas behind one front door."""
 
@@ -54,12 +76,15 @@ class WorkerTier:
     @classmethod
     def from_snapshot(cls, directory: str, replicas: int,
                       policy: BatchPolicy | None = None,
-                      clock=time.monotonic,
+                      clock=time.monotonic, mmap: bool = False,
                       **engine_kwargs) -> "WorkerTier":
         """Build a tier of ``replicas`` workers, each rebuilding its own
         :class:`~repro.core.PrunedInferenceEngine` from the saved
         snapshot at ``directory`` — shared-nothing by construction
         (independent weights arrays, caches, and queues).
+        ``mmap=True`` loads each replica's weights as read-only
+        memory maps of one shared on-disk sidecar instead of private
+        heap copies (see :func:`repro.core.engine.load_mmap_state`).
         ``engine_kwargs`` (``continuous=``, ``step_token_budget=``,
         ``slo=``, ``estimate_hardware=``, ``registry=``, ``tracer=``,
         ...) configure every worker's
@@ -78,7 +103,8 @@ class WorkerTier:
         engine_kwargs.pop("name", None)
         workers = []
         for index in range(replicas):
-            core = PrunedInferenceEngine.from_directory(directory)
+            core = PrunedInferenceEngine.from_directory(directory,
+                                                        mmap=mmap)
             workers.append(ServingEngine(
                 core, policy=policy, clock=clock,
                 slo=replace(slo) if slo is not None else None,
@@ -205,14 +231,10 @@ class WorkerTier:
         each worker row adds its live load signals and a coarse
         ``health`` verdict (``ok`` until the worker has contained
         forward errors, then ``erroring``)."""
-        tier = {"replicas": len(self.workers), "completed": 0,
-                "reasons": {}, "shed": 0, "errors": 0, "retries": 0,
-                "preemptions": 0, "outstanding_tokens": 0,
-                "kv_slots_in_use": 0, "queue_depth": 0}
         workers = {}
         for name, engine in self.engines.items():
             stats = engine.stats
-            row = {
+            workers[name] = {
                 "health": "erroring" if stats.errors else "ok",
                 "completed": stats.completed,
                 "reasons": dict(stats.reasons),
@@ -224,12 +246,4 @@ class WorkerTier:
                 "kv_slots_in_use": engine.kv_slots_in_use(),
                 "queue_depth": engine.queue_depth(),
             }
-            workers[name] = row
-            for reason, count in row["reasons"].items():
-                tier["reasons"][reason] = (tier["reasons"].get(reason, 0)
-                                           + count)
-            for key in ("completed", "shed", "errors", "retries",
-                        "preemptions", "outstanding_tokens",
-                        "kv_slots_in_use", "queue_depth"):
-                tier[key] += row[key]
-        return {"tier": tier, "workers": workers}
+        return tier_rollup(workers)

@@ -778,3 +778,83 @@ def test_sweep_cli_has_no_progress_flag(capsys):
                        "--suite", "memn2n"]) == 0
     out = capsys.readouterr().out
     assert "memn2n/Task-1" in out
+
+
+# ---------------------------------------------------------------------------
+# router front-door SLO admission
+# ---------------------------------------------------------------------------
+
+def test_router_admission_sheds_at_front_door():
+    """A router given an ``SLOAdmission`` gate sheds doomed requests
+    before they reach any engine queue: the caller gets a typed
+    ``shed_overload`` result instantly and the engine's backlog never
+    grows."""
+    from repro.obs import MetricsRegistry
+    from repro.serve import SLOAdmission
+
+    clock = [0.0]
+    engine = ServingEngine(
+        make_classifier_engine(0),
+        BatchPolicy(max_batch_size=4, max_wait=0.0),
+        clock=lambda: clock[0], name="cls")
+    registry = MetricsRegistry()
+    router = ModelRouter(
+        {"cls": engine}, clock=lambda: clock[0], registry=registry,
+        admission=SLOAdmission(ttft_target=1e-6, step_time=1.0))
+    rng = np.random.default_rng(0)
+    request_id = router.submit(rng.integers(0, 50, size=5))
+    assert engine.queue_depth() == 0       # never enqueued
+    assert router.step() == [request_id]
+    result = router.result(request_id)
+    assert result.reason == REASON_SHED
+    with pytest.raises(ShedOverload):
+        router.finish(request_id)
+    snap = registry.snapshot()
+    rows = snap["repro_router_admission_shed_total"]["series"]
+    assert sum(row["value"] for row in rows) == 1
+
+
+def test_router_admission_sheds_streams_on_tbt_target():
+    """A between-token target below the step time is unattainable for
+    any stream (decode emits one token per step), so streams shed
+    regardless of load while classify traffic still passes."""
+    from repro.serve import SLOAdmission
+
+    clock = [0.0]
+    engine = ServingEngine(
+        make_lm_engine(0),
+        BatchPolicy(max_batch_size=4, max_wait=0.0),
+        clock=lambda: clock[0], continuous=True, name="lm")
+    router = ModelRouter(
+        {"lm": engine}, clock=lambda: clock[0],
+        admission=SLOAdmission(tbt_target=1e-6, step_time=1.0))
+    stream = router.open_stream(np.arange(1, 5), max_new_tokens=4)
+    router.step()
+    assert router.result(stream).reason == REASON_SHED
+
+
+def test_router_permissive_admission_serves_normally():
+    """A loose SLO admits everything — results match a router with no
+    admission gate bit for bit."""
+    from repro.serve import SLOAdmission
+
+    def run(admission):
+        clock = [0.0]
+        engine = ServingEngine(
+            make_classifier_engine(0),
+            BatchPolicy(max_batch_size=4, max_wait=0.0),
+            clock=lambda: clock[0], name="cls")
+        router = ModelRouter({"cls": engine}, clock=lambda: clock[0],
+                             admission=admission)
+        rng = np.random.default_rng(7)
+        ids = [router.submit(rng.integers(0, 50, size=6))
+               for _ in range(5)]
+        router.drain()
+        return [router.finish(i) for i in ids]
+
+    gated = run(SLOAdmission(ttft_target=1e6, step_time=1e-9))
+    open_door = run(None)
+    for a, b in zip(gated, open_door):
+        assert a.reason == REASON_OK
+        assert a.prediction == b.prediction
+        np.testing.assert_array_equal(a.logits, b.logits)

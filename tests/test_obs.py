@@ -397,3 +397,77 @@ def test_artifacts_diff_cli(tmp_path, capsys):
     assert "tok_s" in out and "1.5" in out
     with pytest.raises(SystemExit):
         main(["diff", a, str(tmp_path / "missing.json")])
+
+
+# ---------------------------------------------------------------------------
+# fleet aggregation: merging worker snapshots and trace deltas
+# ---------------------------------------------------------------------------
+
+def test_merge_snapshot_replaces_series_and_rebuilds_histograms():
+    """merge_snapshot folds a worker registry's snapshot in with
+    replace-latest semantics, reconstructing the histogram overflow
+    bucket (snapshots carry only the bounded buckets)."""
+    worker = MetricsRegistry()
+    worker.counter("jobs_total", "jobs", engine="worker0").inc(3)
+    worker.gauge("depth", "queue depth", engine="worker0").set(7)
+    hist = worker.histogram("lat", "latency",
+                            buckets=(0.1, 1.0), engine="worker0")
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(99.0)                     # lands in +Inf overflow
+
+    parent = MetricsRegistry()
+    parent.counter("jobs_total", "jobs", engine="parent").inc(1)
+    parent.merge_snapshot(worker.snapshot())
+    # two merges are idempotent (replace, not add)
+    parent.merge_snapshot(worker.snapshot())
+
+    snap = parent.snapshot()
+    jobs = {tuple(r["labels"].items()): r["value"]
+            for r in snap["jobs_total"]["series"]}
+    assert jobs[(("engine", "worker0"),)] == 3
+    assert jobs[(("engine", "parent"),)] == 1    # untouched
+    assert snap["depth"]["series"][0]["value"] == 7
+    merged = parent.histogram("lat", "latency", buckets=(0.1, 1.0),
+                              engine="worker0")
+    assert merged.counts == [1, 1, 1]            # overflow rebuilt
+    assert merged.count == 3
+    assert merged.sum == pytest.approx(99.55)
+    assert parent.merge_snapshot(worker.snapshot()) is None
+    assert NULL_REGISTRY.merge_snapshot(worker.snapshot()) is None
+
+    with pytest.raises(ValueError, match="cannot merge"):
+        parent.merge_snapshot({"x": {"kind": "mystery", "help": "",
+                                     "series": [{"labels": {},
+                                                 "value": 1}]}})
+
+
+def test_merge_events_remaps_pids_across_incremental_deltas():
+    """merge_events translates a worker recorder's pid numbering into
+    the parent's track table, carrying the mapping across deltas (the
+    process_name metadata event only appears in the first one)."""
+    from repro.obs import TraceRecorder
+
+    worker = TraceRecorder()
+    pid = worker.track("worker1")
+    worker.instant("submit", 0.0, pid, id=1)
+    first_delta = list(worker.events)
+    worker.instant("finish", 1.0, pid, id=1)
+    second_delta = worker.events[len(first_delta):]
+
+    parent = TraceRecorder()
+    parent.track("parent")                 # occupies the worker's pid
+    mapping = parent.merge_events(first_delta)
+    mapping = parent.merge_events(second_delta, mapping)
+
+    remapped = parent.track("worker1")     # get-or-assign: stable
+    assert mapping == {pid: remapped}
+    assert remapped != pid                 # collision actually remapped
+    merged = [e for e in parent.events
+              if e.get("name") in ("submit", "finish")]
+    assert [e["name"] for e in merged] == ["submit", "finish"]
+    assert all(e["pid"] == remapped for e in merged)
+    # pid 0 (no track) passes through unchanged
+    parent.merge_events([{"name": "loose", "ph": "i", "ts": 0.0,
+                          "pid": 0}])
+    assert parent.events[-1]["pid"] == 0

@@ -344,3 +344,121 @@ def test_async_concurrent_clients_coalesce():
         assert got.prediction == expected.prediction
     assert serving.stats.max_batch_size >= 2   # coalescing happened
     assert serving.stats.completed == len(requests)
+
+
+# ---------------------------------------------------------------------------
+# per-bucket flush sizes
+# ---------------------------------------------------------------------------
+
+def test_batch_policy_per_bucket_sizes_pair_sort_and_lookup():
+    """``bucket_batch_sizes`` pairs one flush size per ladder entry,
+    stays paired when the ladder is sorted, and unknown buckets (the
+    ``pad_to`` fallback) use the global ``max_batch_size``."""
+    import pytest
+
+    from repro.serve import BatchPolicy
+
+    policy = BatchPolicy(max_batch_size=8, buckets=(16, 4),
+                         bucket_batch_sizes=(2, 6))
+    assert policy.buckets == (4, 16)
+    assert policy.bucket_batch_sizes == (6, 2)
+    assert policy.batch_size_for(4) == 6
+    assert policy.batch_size_for(16) == 2
+    assert policy.batch_size_for(32) == 8     # pad_to fallback bucket
+
+    with pytest.raises(ValueError, match="bucket ladder"):
+        BatchPolicy(bucket_batch_sizes=(2,))
+    with pytest.raises(ValueError, match="one size per"):
+        BatchPolicy(buckets=(4, 16), bucket_batch_sizes=(2,))
+    with pytest.raises(ValueError, match=">= 1"):
+        BatchPolicy(buckets=(4, 16), bucket_batch_sizes=(2, 0))
+    with pytest.raises(ValueError, match="duplicate"):
+        BatchPolicy(buckets=(4, 4), bucket_batch_sizes=(2, 3))
+
+
+def test_dynamic_batcher_flushes_at_per_bucket_sizes():
+    """A wide bucket with a small flush size goes due at its own
+    threshold and pops at most that many, while narrow buckets keep
+    coalescing to the global size."""
+    from repro.serve import BatchPolicy, DynamicBatcher, QueuedRequest
+
+    policy = BatchPolicy(max_batch_size=4, max_wait=100.0,
+                         buckets=(4, 16), bucket_batch_sizes=(4, 2))
+    batcher = DynamicBatcher(policy, pad_to=32)
+
+    def queue(request_id, length, arrival):
+        batcher.add(QueuedRequest(
+            request_id, np.zeros(length, dtype=np.int64),
+            np.ones(length, dtype=bool), arrival))
+
+    queue(0, 3, 0.0)
+    queue(1, 3, 0.1)
+    queue(2, 10, 0.2)
+    assert not batcher.ready(0.3)          # short 2/4, long 1/2
+    queue(3, 12, 0.3)
+    assert batcher.ready(0.3)              # long bucket hit its cap
+    bucket, popped = batcher.pop(0.3)
+    assert bucket == 16
+    assert [r.request_id for r in popped] == [2, 3]
+    assert not batcher.ready(0.4)          # shorts still below 4
+    queue(4, 2, 0.4)
+    queue(5, 4, 0.5)
+    bucket, popped = batcher.pop(0.5)
+    assert bucket == 4
+    assert [r.request_id for r in popped] == [0, 1, 4, 5]
+
+
+def test_from_observed_max_batch_tokens_derives_bucket_sizes():
+    """``max_batch_tokens`` caps each bucket's flush at
+    ``clamp(max_batch_tokens // width, 1, max_batch_size)`` so every
+    flush moves roughly the same padded-token volume."""
+    import pytest
+
+    from repro.serve import BatchPolicy
+
+    lengths = [4] * 8 + [16] * 8
+    policy = BatchPolicy.from_observed(lengths, max_buckets=2,
+                                       max_batch_tokens=32,
+                                       max_batch_size=8)
+    assert policy.buckets == (4, 16)
+    assert policy.bucket_batch_sizes == (8, 2)
+    assert policy.batch_size_for(4) * 4 <= 32
+    assert policy.batch_size_for(16) * 16 <= 32
+
+    floor = BatchPolicy.from_observed(lengths, max_buckets=2,
+                                      max_batch_tokens=1)
+    assert floor.bucket_batch_sizes == (1, 1)   # clamped up to 1
+
+    untuned = BatchPolicy.from_observed(lengths, max_buckets=2)
+    assert untuned.bucket_batch_sizes is None
+
+    with pytest.raises(ValueError, match="max_batch_tokens"):
+        BatchPolicy.from_observed(lengths, max_batch_tokens=0)
+
+
+def test_serving_engine_respects_per_bucket_flush_size():
+    """End to end: a wide bucket capped at 2 serves its requests in
+    batches of 2 even though the global size is 4 — and stays
+    bit-identical to solo serving."""
+    from repro.serve import BatchPolicy
+
+    clock = [0.0]
+    serving = ServingEngine(
+        make_classifier_engine(0),
+        BatchPolicy(max_batch_size=4, max_wait=0.0, buckets=(4, 16),
+                    bucket_batch_sizes=(4, 2)),
+        clock=lambda: clock[0])
+    rng = np.random.default_rng(3)
+    inputs = [rng.integers(0, 50, size=10) for _ in range(4)]
+    ids = [serving.submit(x) for x in inputs]
+    serving.drain()
+    solo = ServingEngine(make_classifier_engine(0),
+                         BatchPolicy(max_batch_size=1, max_wait=0.0))
+    for request_id, x in zip(ids, inputs):
+        result = serving.finish(request_id)
+        assert result.batch_sizes == [2]
+        alone = solo.submit(x)
+        solo.drain()
+        expected = solo.finish(alone)
+        assert result.prediction == expected.prediction
+        np.testing.assert_array_equal(result.logits, expected.logits)
